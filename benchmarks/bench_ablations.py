@@ -1,0 +1,44 @@
+"""Ablation benchmarks over the reproduction's modelling choices."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+from repro.params import PAPER_DEFAULTS
+
+
+def test_ablations(benchmark, save_report):
+    rows = benchmark(ablations.all_ablations, PAPER_DEFAULTS)
+    save_report("ablations", ablations.render(PAPER_DEFAULTS))
+    by_key = {}
+    for row in rows:
+        by_key[(row.ablation, row.setting, row.algorithm)] = row
+
+    # Restart log bulk only affects recovery time (via log volume).
+    none = by_key[("restart_log_bulk", "fraction=0.0", "2CCOPY")]
+    full = by_key[("restart_log_bulk", "fraction=1.0", "2CCOPY")]
+    assert full.recovery_time > none.recovery_time
+    assert full.overhead_per_txn == none.overhead_per_txn
+
+    # Full checkpoints never cost less than partial ones.
+    for algorithm in ("FUZZYCOPY", "2CFLUSH", "COUCOPY"):
+        partial = by_key[("scope", "partial", algorithm)]
+        fully = by_key[("scope", "full", algorithm)]
+        assert fully.overhead_per_txn >= 0.95 * partial.overhead_per_txn
+
+    # Longer seeks stretch the checkpoint, hence recovery time.
+    slow = by_key[("t_seek", "50 ms", "COUCOPY")]
+    fast = by_key[("t_seek", "10 ms", "COUCOPY")]
+    assert slow.recovery_time > fast.recovery_time
+
+
+def test_dirty_window_ablation_small_at_default_load(benchmark, save_report):
+    """Ping-pong (2-interval) vs single-interval staleness barely matters
+    at the default load: everything is dirty either way."""
+    rows = benchmark(ablations.dirty_window_ablation, PAPER_DEFAULTS)
+    by_setting = {}
+    for row in rows:
+        by_setting.setdefault(row.algorithm, {})[row.setting] = row
+    for algorithm, settings in by_setting.items():
+        one = settings["1 interval(s)"].overhead_per_txn
+        two = settings["2 interval(s)"].overhead_per_txn
+        assert abs(one - two) < 0.1 * two, algorithm

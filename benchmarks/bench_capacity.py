@@ -1,0 +1,36 @@
+"""Benchmarks for the throughput-capacity extension and CPU contention."""
+
+from __future__ import annotations
+
+from repro.experiments import capacity
+from repro.params import PAPER_DEFAULTS, SystemParameters
+from repro.simulate.system import SimulatedSystem, SimulationConfig
+
+
+def test_capacity_table(benchmark, save_report):
+    points = benchmark.pedantic(capacity.capacity_table, args=(PAPER_DEFAULTS,),
+                                iterations=1, rounds=3)
+    save_report("capacity", capacity.render(PAPER_DEFAULTS))
+    by_name = {p.algorithm: p for p in points}
+    ideal = 50e6 / PAPER_DEFAULTS.c_trans
+    # The paper's 15x instruction gap becomes a ~3x capacity gap.
+    assert by_name["FASTFUZZY"].max_throughput > 0.97 * ideal
+    assert by_name["COUCOPY"].max_throughput > 0.90 * ideal
+    assert by_name["2CCOPY"].max_throughput < 0.40 * ideal
+
+
+def test_contended_simulation(benchmark):
+    """Time the finite-CPU testbed and assert the saturation contrast."""
+
+    def run(algorithm: str):
+        params = SystemParameters.scaled_down(256, lam=30.0, n_bdisks=8)
+        system = SimulatedSystem(SimulationConfig(
+            params=params, algorithm=algorithm, seed=13,
+            preload_backup=True, cpu_mips=2.0))
+        return system.run(8.0)
+
+    polite = benchmark.pedantic(run, args=("COUCOPY",),
+                                iterations=1, rounds=3)
+    greedy = run("2CCOPY")
+    assert greedy.cpu_utilisation > 2 * polite.cpu_utilisation
+    assert greedy.mean_response_time > 10 * polite.mean_response_time

@@ -1,0 +1,46 @@
+"""Benchmarks for the reproduction's extensions.
+
+Not paper figures: the consistency-spectrum comparison (AC checkpointing,
+which the paper describes but never evaluates), the NAIVELOCK latency
+profile (the Section 3.2.1 strawman, measured), and replicated runs with
+confidence intervals.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import extensions, replication
+
+
+def test_consistency_spectrum(benchmark, save_report):
+    points = benchmark(extensions.consistency_spectrum)
+    by_name = {p.algorithm: p for p in points}
+    # AC is within a lock pair of fuzzy, far below the two-color family.
+    assert (by_name["ACCOPY"].overhead_per_txn
+            < 1.05 * by_name["FUZZYCOPY"].overhead_per_txn)
+    assert (by_name["ACFLUSH"].overhead_per_txn
+            < by_name["FUZZYCOPY"].overhead_per_txn)
+    assert (by_name["2CCOPY"].overhead_per_txn
+            > 10 * by_name["ACCOPY"].overhead_per_txn)
+
+
+def test_latency_profile(benchmark, save_report):
+    rows = benchmark.pedantic(extensions.latency_profile,
+                              iterations=1, rounds=1)
+    save_report("extensions", extensions.render())
+    by_name = {r.algorithm: r for r in rows}
+    naive = by_name["NAIVELOCK"]
+    polite = by_name["COUCOPY"]
+    # "Unacceptably frequent and long lock delays", quantified:
+    assert naive.lock_waits > 100
+    assert naive.mean_response_ms > 100 * max(0.01, polite.mean_response_ms)
+    assert naive.aborts == 0
+
+
+def test_replicated_measurements(benchmark, save_report):
+    results = benchmark.pedantic(
+        replication.compare,
+        args=(["FUZZYCOPY", "COUCOPY", "2CCOPY"],),
+        kwargs={"seeds": (1, 2, 3), "duration": 5.0},
+        iterations=1, rounds=1)
+    save_report("replication", replication.render(results))
+    assert replication.separated(results["2CCOPY"], results["FUZZYCOPY"])

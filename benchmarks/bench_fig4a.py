@@ -1,0 +1,27 @@
+"""Figure 4a regeneration: overhead + recovery time per algorithm."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4a
+from repro.params import PAPER_DEFAULTS
+
+
+def test_figure_4a(benchmark, save_report):
+    points = benchmark(fig4a.figure4a, PAPER_DEFAULTS)
+    save_report("fig4a", fig4a.render(PAPER_DEFAULTS))
+    by_name = {p.algorithm: p for p in points}
+
+    # Shape: two-color algorithms dwarf the rest (rerun-dominated).
+    fuzzy = by_name["FUZZYCOPY"].overhead_per_txn
+    assert by_name["2CFLUSH"].overhead_per_txn > 5 * fuzzy
+    assert by_name["2CCOPY"].overhead_per_txn > 5 * fuzzy
+
+    # Shape: COU is as cheap as fuzzy.
+    assert by_name["COUFLUSH"].overhead_per_txn <= 1.05 * fuzzy
+    assert by_name["COUCOPY"].overhead_per_txn <= 1.05 * fuzzy
+
+    # Shape: recovery times similar, two-color slightly longer.
+    times = [p.recovery_time for p in points]
+    assert max(times) < 1.3 * min(times)
+    assert (by_name["2CCOPY"].recovery_time
+            > by_name["FUZZYCOPY"].recovery_time)

@@ -1,0 +1,39 @@
+"""Figure 4b regeneration: overhead/recovery-time trade-off trajectories."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4b
+from repro.params import PAPER_DEFAULTS
+
+
+def _figure():
+    return fig4b.figure4b(PAPER_DEFAULTS, points_per_curve=10)
+
+
+def test_figure_4b(benchmark, save_report):
+    curves = benchmark(_figure)
+    save_report("fig4b", fig4b.render(PAPER_DEFAULTS))
+
+    # Shape: every trajectory trades overhead against recovery time.
+    for curve in curves.values():
+        overheads = [p.overhead_per_txn for p in curve]
+        assert overheads == sorted(overheads, reverse=True)
+        assert curve[-1].recovery_time > curve[0].recovery_time
+
+    # Shape: doubled bandwidth reaches shorter recovery times.
+    for algorithm in fig4b.ALGORITHMS:
+        best20 = min(p.recovery_time for p in curves[(algorithm, 20)])
+        best40 = min(p.recovery_time for p in curves[(algorithm, 40)])
+        assert best40 < best20
+
+    # Shape: bandwidth is worth more to 2CCOPY than to COUCOPY.
+    def overhead_near(algorithm, disks, interval):
+        curve = curves[(algorithm, disks)]
+        return min(curve, key=lambda p: abs(p.interval - interval)
+                   ).overhead_per_txn
+
+    gain_2c = overhead_near("2CCOPY", 20, 200) / overhead_near(
+        "2CCOPY", 40, 200)
+    gain_cou = overhead_near("COUCOPY", 20, 200) / overhead_near(
+        "COUCOPY", 40, 200)
+    assert gain_2c > 1.5 * gain_cou

@@ -1,0 +1,23 @@
+"""Figure 4c regeneration: overhead vs transaction load."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4c
+from repro.params import PAPER_DEFAULTS
+
+
+def test_figure_4c(benchmark, save_report):
+    curves = benchmark(fig4c.figure4c, PAPER_DEFAULTS)
+    save_report("fig4c", fig4c.render(PAPER_DEFAULTS))
+
+    # Shape: per-transaction cost falls with load.
+    for name in ("FUZZYCOPY", "COUFLUSH", "COUCOPY", "2CCOPY"):
+        points = curves[name]
+        assert points[-1].overhead_per_txn < points[0].overhead_per_txn
+
+    # Shape: the 2CFLUSH crossover.
+    low = curves["2CFLUSH"][0].lam
+    assert fig4c.cheapest_at(curves, low) == "2CFLUSH"
+    at_high = sorted(((points[-1].overhead_per_txn, name)
+                      for name, points in curves.items()), reverse=True)
+    assert "2CFLUSH" in {name for _, name in at_high[:2]}

@@ -1,0 +1,27 @@
+"""Figure 4d regeneration: the effect of segment size."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4d
+from repro.params import PAPER_DEFAULTS
+
+
+def test_figure_4d(benchmark, save_report):
+    curves = benchmark(fig4d.figure4d, PAPER_DEFAULTS)
+    save_report("fig4d", fig4d.render(PAPER_DEFAULTS))
+
+    # Dotted (fixed interval): two-color overhead falls with segment size.
+    for name in ("2CCOPY", "2CFLUSH"):
+        curve = curves[(name, True)]
+        assert curve[-1].overhead_per_txn < curve[0].overhead_per_txn
+
+    # Dotted: COUCOPY shows only minor variation.
+    cou = [p.overhead_per_txn for p in curves[("COUCOPY", True)]]
+    assert max(cou) < 2.0 * min(cou)
+
+    # Solid (minimum duration): copy-heavy algorithms rise, 2CFLUSH falls.
+    for name in ("2CCOPY", "COUCOPY"):
+        curve = curves[(name, False)]
+        assert curve[-1].overhead_per_txn > curve[0].overhead_per_txn
+    flush = curves[("2CFLUSH", False)]
+    assert flush[-1].overhead_per_txn < flush[0].overhead_per_txn

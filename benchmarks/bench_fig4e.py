@@ -1,0 +1,23 @@
+"""Figure 4e regeneration: overhead with a stable log tail."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4a, fig4e
+from repro.params import PAPER_DEFAULTS
+
+
+def test_figure_4e(benchmark, save_report):
+    points = benchmark(fig4e.figure4e, PAPER_DEFAULTS)
+    save_report("fig4e", fig4e.render(PAPER_DEFAULTS))
+    by_name = {p.algorithm: p for p in points}
+
+    # Shape: FASTFUZZY costs only a few hundred instructions.
+    assert 100 < by_name["FASTFUZZY"].overhead_per_txn < 1000
+
+    # Shape: everyone else barely moves relative to Figure 4a.
+    baseline = {p.algorithm: p for p in fig4a.figure4a(PAPER_DEFAULTS)}
+    for name, point in by_name.items():
+        if name == "FASTFUZZY":
+            continue
+        reference = baseline[name].overhead_per_txn
+        assert abs(point.overhead_per_txn - reference) < 0.05 * reference

@@ -1,0 +1,47 @@
+"""Performance benchmarks of the testbed itself.
+
+Not a paper figure: these track the discrete-event engine's throughput
+(events and transactions per wall-clock second) so regressions in the
+simulator substrate are caught.
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.scheduler import CheckpointPolicy
+from repro.params import SystemParameters
+from repro.simulate.system import SimulatedSystem, SimulationConfig
+
+
+def _simulate(algorithm: str, duration: float = 4.0):
+    params = SystemParameters(
+        s_db=128 * 8192, lam=300.0, t_seek=0.002, n_bdisks=8)
+    system = SimulatedSystem(SimulationConfig(
+        params=params, algorithm=algorithm, seed=7,
+        policy=CheckpointPolicy(), preload_backup=True))
+    system.run(duration)
+    return system
+
+
+def test_simulator_throughput_fuzzycopy(benchmark):
+    system = benchmark.pedantic(
+        _simulate, args=("FUZZYCOPY",), iterations=1, rounds=3)
+    assert system.txn_manager.stats.committed > 500
+    assert system.engine.dispatched > 1000
+
+
+def test_simulator_throughput_coucopy(benchmark):
+    system = benchmark.pedantic(
+        _simulate, args=("COUCOPY",), iterations=1, rounds=3)
+    assert system.txn_manager.stats.committed > 500
+
+
+def test_recovery_throughput(benchmark):
+    def run_and_recover():
+        system = _simulate("FUZZYCOPY", duration=3.0)
+        system.crash()
+        result = system.recover()
+        assert system.verify_recovery() == []
+        return result
+
+    result = benchmark.pedantic(run_and_recover, iterations=1, rounds=3)
+    assert result.used_checkpoint_id is not None

@@ -1,0 +1,16 @@
+"""Benchmark/regeneration of Tables 2a-2d (the model parameters)."""
+
+from __future__ import annotations
+
+from repro.experiments import tables
+from repro.params import PAPER_DEFAULTS
+
+
+def test_tables_2a_2d(benchmark, save_report):
+    rendered = benchmark(tables.render, PAPER_DEFAULTS)
+    save_report("tables_2a_2d", rendered)
+    assert "Table 2a" in rendered
+    assert "C_lock" in rendered and "20" in rendered
+    assert "Table 2b" in rendered and "N_bdisks" in rendered
+    assert "Table 2c" in rendered and "8192" in rendered
+    assert "Table 2d" in rendered and "25000" in rendered

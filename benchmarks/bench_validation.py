@@ -1,0 +1,30 @@
+"""Benchmark of the model-vs-testbed validation run.
+
+Times one full discrete-event simulation of the scaled configuration and
+asserts the model agreement the paper's promised testbed was meant to
+verify.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import validation
+
+
+def _run():
+    return validation.run_validation("COUCOPY", duration=6.0, warmup=4.0)
+
+
+def test_validation_coucopy(benchmark, save_report):
+    row = benchmark.pedantic(_run, iterations=1, rounds=3)
+    assert 0.8 < row.overhead_ratio < 1.2
+    assert row.transactions > 500
+
+
+def test_validation_suite_report(benchmark, save_report):
+    rows = benchmark.pedantic(
+        validation.run_validation_suite, kwargs={"duration": 8.0},
+        iterations=1, rounds=1)
+    save_report("validation", validation.render(rows))
+    by_name = {r.algorithm: r for r in rows}
+    assert 0.85 < by_name["FUZZYCOPY"].overhead_ratio < 1.15
+    assert 0.85 < by_name["FASTFUZZY"].overhead_ratio < 1.15

@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures via the
+same experiment drivers ``repro.experiments`` exposes, times the
+regeneration with pytest-benchmark, asserts the figure's qualitative
+shape, and writes the rendered text table under
+``benchmarks/reports/`` so EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def reports_dir() -> Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+@pytest.fixture
+def save_report(reports_dir):
+    def _save(name: str, content: str) -> None:
+        (reports_dir / f"{name}.txt").write_text(content + "\n")
+    return _save

@@ -1,0 +1,75 @@
+"""Head-to-head testbed comparison of all six checkpointing algorithms.
+
+Scenario: an in-memory inventory system must pick its checkpointer.  The
+analytic model ranks the candidates instantly, but the operations team
+wants to see the algorithms *run*: identical workload (common random
+numbers -- the same seed drives the same arrivals and record choices for
+every candidate), identical hardware, measured side by side, each
+followed by a crash and a verified recovery.
+
+Run:  python examples/algorithm_shootout.py
+"""
+
+from repro import SimulatedSystem, SimulationConfig, SystemParameters
+from repro.checkpoint import ALGORITHM_NAMES
+from repro.checkpoint.scheduler import CheckpointPolicy
+
+
+def shootout_round(algorithm: str, params: SystemParameters,
+                   duration: float, seed: int) -> dict:
+    needs_stable = algorithm == "FASTFUZZY"
+    p = params.replace(stable_log_tail=True) if needs_stable else params
+    system = SimulatedSystem(SimulationConfig(
+        params=p, algorithm=algorithm, seed=seed,
+        policy=CheckpointPolicy(), preload_backup=True))
+    # Warm up past the transient, then measure steady state.
+    system.run(duration / 2)
+    system.reset_measurements()
+    metrics = system.run(duration)
+    system.crash()
+    recovery = system.recover()
+    clean = not system.verify_recovery()
+    return {
+        "algorithm": algorithm,
+        "overhead": metrics.overhead_per_transaction,
+        "committed": metrics.transactions_committed,
+        "aborts": metrics.aborts.get("two-color", 0),
+        "checkpoints": metrics.checkpoints_completed,
+        "response_ms": metrics.mean_response_time * 1e3,
+        "recovery_s": recovery.total_time,
+        "recovered": clean,
+    }
+
+
+def main() -> None:
+    params = SystemParameters.scaled_down(256, lam=150.0, n_bdisks=8)
+    duration = 8.0
+    seed = 99
+    print(f"inventory MMDB: {params.n_segments} segments, "
+          f"{params.lam:.0f} txns/s, {params.n_bdisks} backup disks")
+    print(f"each candidate runs the identical {duration:.0f} s workload "
+          f"(seed {seed}), then crashes and recovers\n")
+    header = (f"{'algorithm':10s} {'ovh/txn':>9s} {'committed':>9s} "
+              f"{'aborts':>7s} {'ckpts':>6s} {'resp ms':>8s} "
+              f"{'recovery':>9s} {'verified':>9s}")
+    print(header)
+    print("-" * len(header))
+    rows = [shootout_round(name, params, duration, seed)
+            for name in ALGORITHM_NAMES]
+    for row in sorted(rows, key=lambda r: r["overhead"]):
+        print(f"{row['algorithm']:10s} {row['overhead']:>9.0f} "
+              f"{row['committed']:>9d} {row['aborts']:>7d} "
+              f"{row['checkpoints']:>6d} {row['response_ms']:>8.2f} "
+              f"{row['recovery_s']:>8.2f}s "
+              f"{'yes' if row['recovered'] else 'NO!':>9s}")
+
+    print("\nReading the table:")
+    print(" * FASTFUZZY (stable log tail) is the cheapest by far;")
+    print(" * the COU algorithms give transaction-consistent backups for")
+    print("   roughly fuzzy-checkpoint cost;")
+    print(" * the two-color algorithms pay heavily in aborted and rerun")
+    print("   transactions -- the paper's Figure 4a, measured live.")
+
+
+if __name__ == "__main__":
+    main()

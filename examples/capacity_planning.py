@@ -1,0 +1,64 @@
+"""Capacity planning: how many backup disks does the MMDB need?
+
+Scenario: a brokerage order book lives in main memory.  Management wants
+three numbers before signing the hardware order:
+
+1. how recovery time scales with the number of backup disks;
+2. the checkpoint overhead tax at each disk count;
+3. the disk count where adding spindles stops paying for itself.
+
+The paper's model answers all three directly: backup-read time and
+minimum checkpoint duration both scale inversely with ``N_bdisks``
+(Section 2.3), and for the two-color algorithms more bandwidth also
+means fewer aborted transactions.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import SystemParameters, evaluate
+from repro.units import words_to_megabytes
+
+
+def plan(algorithm: str, params: SystemParameters,
+         disk_counts: list[int]) -> None:
+    print(f"\n{algorithm}:")
+    print(f"{'disks':>6s} {'min interval':>13s} {'recovery':>9s} "
+          f"{'overhead/txn':>13s} {'reruns/txn':>11s}")
+    previous = None
+    for disks in disk_counts:
+        p = params.replace(n_bdisks=disks)
+        result = evaluate(algorithm, p)
+        marginal = ""
+        if previous is not None:
+            saved = previous - result.recovery_time
+            marginal = f"   (-{saved:.1f} s/disk-step)"
+        print(f"{disks:>6d} {result.interval:>11.1f} s "
+              f"{result.recovery_time:>7.1f} s "
+              f"{result.overhead_per_txn:>11.0f} i "
+              f"{result.reruns_per_txn:>11.2f}{marginal}")
+        previous = result.recovery_time
+
+
+def main() -> None:
+    params = SystemParameters.paper_defaults()
+    size_mb = words_to_megabytes(params.s_db)
+    print(f"order book: {size_mb:.0f} MB memory-resident database, "
+          f"{params.lam:.0f} orders/s")
+    print("question: how many backup disks? (checkpoints as fast as "
+          "possible)")
+
+    disk_counts = [5, 10, 20, 40, 80]
+    plan("COUCOPY", params, disk_counts)
+    plan("2CCOPY", params, disk_counts)
+
+    print("\nTakeaways:")
+    print(" * recovery time halves with each doubling of disks -- but in")
+    print("   absolute terms the savings shrink fast;")
+    print(" * COUCOPY's overhead is insensitive to bandwidth, so disks")
+    print("   are purely a recovery-time purchase;")
+    print(" * for 2CCOPY, bandwidth also buys fewer aborts -- the same")
+    print("   money improves *both* axes (paper Figure 4b).")
+
+
+if __name__ == "__main__":
+    main()

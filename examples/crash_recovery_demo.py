@@ -1,0 +1,87 @@
+"""Crash-recovery walkthrough: a payments ledger loses power mid-checkpoint.
+
+Scenario: a memory-resident payments database processes a steady stream
+of balance transfers while a FUZZYCOPY checkpointer maintains the
+ping-pong backup pair.  Power fails *while a checkpoint is writing one of
+the images*.  The demo shows, step by step, exactly what the paper's
+Section 3.3 recovery procedure does with what survives:
+
+* the interrupted image is abandoned -- the other, complete image is used;
+* the REDO log is scanned back to that checkpoint's begin marker and
+  replayed forward;
+* transactions whose commit records never left the volatile log tail are
+  gone -- and the oracle confirms that is *exactly* the committed durable
+  state, nothing more, nothing less.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro import SimulatedSystem, SimulationConfig, SystemParameters
+from repro.checkpoint.scheduler import CheckpointPolicy
+
+
+def main() -> None:
+    params = SystemParameters.scaled_down(512, lam=300.0)
+    print(f"payments ledger: {params.n_records} accounts in "
+          f"{params.n_segments} segments, {params.lam:.0f} transfers/s")
+
+    system = SimulatedSystem(SimulationConfig(
+        params=params,
+        algorithm="FUZZYCOPY",
+        policy=CheckpointPolicy(),          # checkpoints back to back
+        seed=2026,
+        preload_backup=True,
+        log_flush_interval=0.05,            # group commit every 50 ms
+    ))
+
+    print("\n-- normal processing -------------------------------------")
+    metrics = system.run(6.0)
+    print(f"committed transfers:       {metrics.transactions_committed}")
+    print(f"checkpoints completed:     {metrics.checkpoints_completed}")
+    print(f"mean checkpoint duration:  "
+          f"{metrics.mean_checkpoint_duration * 1e3:.1f} ms")
+    print(f"backup disk utilisation:   {metrics.disk_utilisation:.0%}")
+
+    # Drive the system until a checkpoint is mid-flight, then cut power.
+    while not system.checkpointer.active:
+        system.engine.run(max_events=1)
+    run = system.checkpointer.current
+    print("\n-- power failure -----------------------------------------")
+    print(f"checkpoint {run.checkpoint_id} was writing image "
+          f"{run.image.index}: {run.segments_flushed} segments done, "
+          f"sweep at segment {run.position}/{params.n_segments}")
+    committed_total = system.txn_manager.stats.committed
+    durable_total = system.oracle.durable_commits
+    in_tail = system.log.tail_records
+    system.crash()
+    print(f"volatile state lost ({in_tail} log records were still in the "
+          f"tail)")
+    print(f"committed in memory: {committed_total}; durable on disk: "
+          f"{durable_total}")
+
+    print("\n-- recovery (Section 3.3) --------------------------------")
+    result = system.recover()
+    print(f"last completed checkpoint in the stable log: "
+          f"{result.used_checkpoint_id} on image {result.used_image}")
+    print(f"backup image read into memory:  "
+          f"{result.backup_read_time:.2f} s (modelled)")
+    print(f"log replayed from LSN {result.start_lsn}: "
+          f"{result.records_scanned} records scanned, "
+          f"{result.transactions_replayed} transactions re-applied, "
+          f"{result.log_words_read} words read "
+          f"({result.log_read_time * 1e3:.1f} ms)")
+    print(f"total modelled recovery time:   {result.total_time:.2f} s")
+
+    mismatches = system.verify_recovery()
+    if mismatches:
+        raise SystemExit(f"RECOVERY BUG: records {mismatches} differ!")
+    print("\noracle verdict: recovered ledger == durable committed state")
+
+    print("\n-- business resumes --------------------------------------")
+    metrics = system.run(2.0)
+    print(f"{metrics.transactions_committed} further transfers committed "
+          f"after recovery")
+
+
+if __name__ == "__main__":
+    main()

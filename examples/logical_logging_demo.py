@@ -1,0 +1,76 @@
+"""Logical logging: a 4x smaller log -- if your checkpointer can take it.
+
+Scenario: a metering system applies increments ("add 37 units to meter
+X") thousands of times a second.  Logging full after-images wastes log
+bandwidth; a *logical* log records just the deltas (the paper notes that
+consistent backups "permit the use of logical logging").  But delta
+replay is not idempotent: it is only sound if the backup image holds
+exactly the state at the log position replay starts from.
+
+The demo runs the same metering workload under three checkpointers and
+crashes each one:
+
+* COUCOPY  -- snapshot-exact images: recovery is perfect;
+* FUZZYCOPY -- fuzzy images double-apply deltas: *silent corruption*,
+  caught by the oracle;
+* 2CCOPY   -- transaction-consistent, yet still corrupt: its consistency
+  point corresponds to no log position.
+
+Run:  python examples/logical_logging_demo.py
+"""
+
+from repro import SimulatedSystem, SimulationConfig, SystemParameters
+from repro.checkpoint.scheduler import CheckpointPolicy
+
+
+def metering_run(algorithm: str, logical: bool) -> dict:
+    params = SystemParameters.scaled_down(512, lam=300.0)
+    system = SimulatedSystem(SimulationConfig(
+        params=params, algorithm=algorithm, seed=41,
+        policy=CheckpointPolicy(), preload_backup=True,
+        logical_updates=logical))
+    system.run(5.0)
+    log_words = system.log.words_appended
+    system.crash()
+    system.recover()
+    mismatches = system.verify_recovery(limit=10**9)
+    return {
+        "algorithm": algorithm,
+        "log_words": log_words,
+        "corrupt_records": len(mismatches),
+    }
+
+
+def main() -> None:
+    print("metering workload: increments only, 300 txns/s, crash at t=5s\n")
+
+    value_run = metering_run("COUCOPY", logical=False)
+    logical_run = metering_run("COUCOPY", logical=True)
+    ratio = value_run["log_words"] / logical_run["log_words"]
+    print(f"log volume, value logging:    {value_run['log_words']:>9d} words")
+    print(f"log volume, logical logging:  {logical_run['log_words']:>9d} words")
+    print(f"logical logging shrinks the log {ratio:.1f}x\n")
+
+    print(f"{'checkpointer':12s} {'logging':8s} {'corrupt records':>16s}")
+    rows = [
+        ("COUCOPY", True),
+        ("FUZZYCOPY", True),
+        ("2CCOPY", True),
+        ("FUZZYCOPY", False),
+    ]
+    for algorithm, logical in rows:
+        result = metering_run(algorithm, logical)
+        kind = "logical" if logical else "value"
+        verdict = (str(result["corrupt_records"])
+                   if result["corrupt_records"] else "0  (exact)")
+        print(f"{algorithm:12s} {kind:8s} {verdict:>16s}")
+
+    print("\nConclusion: the delta log is free bandwidth *only* with a")
+    print("snapshot-exact (copy-on-update) checkpointer.  Fuzzy images")
+    print("double-apply deltas, and even the transaction-consistent")
+    print("two-color backup corrupts -- its consistency point matches no")
+    print("log position.  Value logging is immune everywhere (last row).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Saturation study: the checkpointing tax, paid in latency.
+
+Scenario: a fraud-scoring MMDB is being sized.  The vendor quotes a
+processor in MIPS; the paper's instruction counts say the two-color
+checkpointers cost ~15x more CPU than copy-on-update -- but what does
+that *feel* like?  This study runs the finite-CPU testbed
+(`cpu_mips=...`) at increasing machine speeds and watches response
+times, then cross-checks the analytic capacity model
+(`repro.model.utilization`).
+
+Run:  python examples/saturation_study.py
+"""
+
+from repro import SimulatedSystem, SimulationConfig, SystemParameters
+from repro.model.utilization import throughput_capacity
+
+
+def measure(algorithm: str, params: SystemParameters, mips: float) -> dict:
+    system = SimulatedSystem(SimulationConfig(
+        params=params, algorithm=algorithm, seed=13,
+        preload_backup=True, cpu_mips=mips))
+    metrics = system.run(10.0)
+    return {
+        "mips": mips,
+        "committed": metrics.transactions_committed,
+        "cpu": metrics.cpu_utilisation,
+        "mean_ms": metrics.mean_response_time * 1e3,
+        "p95_ms": metrics.response_time_p95 * 1e3,
+        "backlog_s": system.cpu.backlog_seconds,
+    }
+
+
+def study(algorithm: str, params: SystemParameters,
+          mips_points: list[float]) -> None:
+    capacity_30 = throughput_capacity(algorithm, params, mips=mips_points[0])
+    print(f"\n{algorithm} (model capacity at {mips_points[0]:.1f} MIPS: "
+          f"{capacity_30:.0f} txns/s for an offered {params.lam:.0f}):")
+    print(f"{'MIPS':>6s} {'cpu util':>9s} {'mean resp':>10s} "
+          f"{'p95 resp':>10s} {'backlog':>8s}")
+    for mips in mips_points:
+        row = measure(algorithm, params, mips)
+        print(f"{row['mips']:>6.1f} {row['cpu']:>8.0%} "
+              f"{row['mean_ms']:>8.1f}ms {row['p95_ms']:>8.1f}ms "
+              f"{row['backlog_s']:>7.2f}s")
+
+
+def main() -> None:
+    params = SystemParameters.scaled_down(256, lam=30.0, n_bdisks=8)
+    print("fraud-scoring MMDB: 30 txns/s offered; how small a CPU dares "
+          "you run?")
+    mips_points = [4.0, 2.0, 1.0, 0.8]
+    study("COUCOPY", params, mips_points)
+    study("2CCOPY", params, mips_points)
+    print("\nReading the table: COUCOPY stays in the tens of milliseconds")
+    print("until the machine is genuinely too small; 2CCOPY turns the same")
+    print("hardware into a queue because every transaction effectively")
+    print("runs ~3x (two-color reruns).  The instruction counts of Figure")
+    print("4a are not an abstraction -- they are the capacity bill.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without PEP 517 wheel support.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on machines whose setuptools lacks
+the ``bdist_wheel`` command (no ``wheel`` package installed).
+"""
+
+from setuptools import setup
+
+setup()

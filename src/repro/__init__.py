@@ -1,0 +1,52 @@
+"""Reproduction of Salem & Garcia-Molina, *Checkpointing Memory-Resident
+Databases* (Princeton CS-TR-126-87 / ICDE 1989).
+
+The package has two faces:
+
+* :mod:`repro.model` -- the paper's analytic performance model, which
+  regenerates every figure of Section 4 (processor overhead and recovery
+  time for the six checkpointing algorithms);
+* :mod:`repro.simulate` -- an executable MMDBMS testbed (database, WAL,
+  disks, ping-pong backups, transactions, the six checkpointers, crash
+  injection and recovery) that validates the model and proves recovery
+  correctness end to end.
+
+Quick start::
+
+    from repro import SystemParameters, evaluate
+
+    result = evaluate("COUCOPY", SystemParameters.paper_defaults())
+    print(result.overhead_per_txn, result.recovery_time)
+
+See ``examples/`` for complete walkthroughs and ``benchmarks/`` for the
+figure-by-figure reproduction harness.
+"""
+
+from .checkpoint import (
+    ALGORITHM_NAMES,
+    CheckpointPolicy,
+    CheckpointScope,
+)
+from .errors import ReproError
+from .model import ModelResult, evaluate
+from .params import PAPER_DEFAULTS, SystemParameters
+from .simulate import SimulatedSystem, SimulationConfig
+from .txn import AccessDistribution, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "AccessDistribution",
+    "CheckpointPolicy",
+    "CheckpointScope",
+    "ModelResult",
+    "PAPER_DEFAULTS",
+    "ReproError",
+    "SimulatedSystem",
+    "SimulationConfig",
+    "SystemParameters",
+    "WorkloadSpec",
+    "evaluate",
+    "__version__",
+]

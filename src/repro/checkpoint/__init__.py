@@ -1,0 +1,60 @@
+"""Checkpointing algorithms -- the paper's primary contribution (Section 3).
+
+Six asynchronous checkpointers maintain the on-disk backup images:
+
+======== ============ =============== ================================
+name     consistency  segment source  synchronisation with transactions
+======== ============ =============== ================================
+FUZZYCOPY fuzzy       buffered copy   none (LSN test before flushing)
+FASTFUZZY fuzzy       direct flush    none (requires stable log tail)
+2CFLUSH   txn-consist direct flush    two-color aborts; lock across I/O
+2CCOPY    txn-consist buffered copy   two-color aborts; lock across copy
+COUFLUSH  txn-consist direct flush    quiesce at begin; copy-on-update
+COUCOPY   txn-consist buffered copy   quiesce at begin; copy-on-update
+======== ============ =============== ================================
+
+Every checkpointer supports **full** and **partial** scope (Section 3:
+partial checkpoints back up only segments updated since the backup image
+last saw them) and writes through the ping-pong image pair.
+"""
+
+from .action_consistent import (
+    ActionConsistentCopyCheckpointer,
+    ActionConsistentFlushCheckpointer,
+)
+from .base import BaseCheckpointer, CheckpointRun, CheckpointScope, CheckpointStats
+from .copy_on_update import COUCopyCheckpointer, COUFlushCheckpointer
+from .fuzzy import FastFuzzyCheckpointer, FuzzyCopyCheckpointer
+from .naive import NaiveLockCheckpointer
+from .registry import (
+    ALGORITHM_NAMES,
+    ALL_ALGORITHM_NAMES,
+    EXTENSION_NAMES,
+    create_checkpointer,
+    resolve_algorithm,
+)
+from .scheduler import CheckpointPolicy, CheckpointScheduler
+from .two_color import TwoColorCopyCheckpointer, TwoColorFlushCheckpointer
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "ALL_ALGORITHM_NAMES",
+    "ActionConsistentCopyCheckpointer",
+    "ActionConsistentFlushCheckpointer",
+    "BaseCheckpointer",
+    "CheckpointPolicy",
+    "CheckpointRun",
+    "CheckpointScheduler",
+    "CheckpointScope",
+    "CheckpointStats",
+    "COUCopyCheckpointer",
+    "COUFlushCheckpointer",
+    "EXTENSION_NAMES",
+    "FastFuzzyCheckpointer",
+    "FuzzyCopyCheckpointer",
+    "NaiveLockCheckpointer",
+    "TwoColorCopyCheckpointer",
+    "TwoColorFlushCheckpointer",
+    "create_checkpointer",
+    "resolve_algorithm",
+]

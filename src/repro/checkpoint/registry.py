@@ -1,0 +1,69 @@
+"""Registry of checkpoint algorithms by their paper names.
+
+The six algorithms of the paper come first; three extensions follow:
+
+* ``ACFLUSH`` / ``ACCOPY`` -- the action-consistent middle ground the
+  paper describes but does not evaluate (Section 3.2);
+* ``NAIVELOCK`` -- the lock-everything strawman of Section 3.2.1,
+  implemented so its "unacceptably frequent and long lock delays" can be
+  measured instead of assumed (simulation only; not in the analytic
+  model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from ..errors import ConfigurationError
+from .action_consistent import (
+    ActionConsistentCopyCheckpointer,
+    ActionConsistentFlushCheckpointer,
+)
+from .base import BaseCheckpointer
+from .copy_on_update import COUCopyCheckpointer, COUFlushCheckpointer
+from .fuzzy import FastFuzzyCheckpointer, FuzzyCopyCheckpointer
+from .naive import NaiveLockCheckpointer
+from .two_color import TwoColorCopyCheckpointer, TwoColorFlushCheckpointer
+
+_PAPER_CLASSES: Tuple[Type[BaseCheckpointer], ...] = (
+    FuzzyCopyCheckpointer,
+    FastFuzzyCheckpointer,
+    TwoColorFlushCheckpointer,
+    TwoColorCopyCheckpointer,
+    COUFlushCheckpointer,
+    COUCopyCheckpointer,
+)
+
+_EXTENSION_CLASSES: Tuple[Type[BaseCheckpointer], ...] = (
+    ActionConsistentFlushCheckpointer,
+    ActionConsistentCopyCheckpointer,
+    NaiveLockCheckpointer,
+)
+
+_REGISTRY: Dict[str, Type[BaseCheckpointer]] = {
+    cls.name: cls for cls in _PAPER_CLASSES + _EXTENSION_CLASSES
+}
+
+#: The paper's algorithms, in its presentation order.
+ALGORITHM_NAMES = tuple(cls.name for cls in _PAPER_CLASSES)
+
+#: Extensions implemented by this reproduction.
+EXTENSION_NAMES = tuple(cls.name for cls in _EXTENSION_CLASSES)
+
+#: Everything the simulator can run.
+ALL_ALGORITHM_NAMES = ALGORITHM_NAMES + EXTENSION_NAMES
+
+
+def resolve_algorithm(name: str) -> Type[BaseCheckpointer]:
+    """Look up a checkpointer class by name (case-insensitive)."""
+    cls = _REGISTRY.get(name.upper())
+    if cls is None:
+        known = ", ".join(ALL_ALGORITHM_NAMES)
+        raise ConfigurationError(f"unknown algorithm {name!r}; known: {known}")
+    return cls
+
+
+def create_checkpointer(name: str, *args: object,
+                        **kwargs: object) -> BaseCheckpointer:
+    """Instantiate the named algorithm with the given substrate pieces."""
+    return resolve_algorithm(name)(*args, **kwargs)

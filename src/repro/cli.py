@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``      -- print Tables 2a-2d (the model parameters);
+* ``figures``     -- regenerate the paper's figures (4a-4e or ``all``),
+  optionally as ASCII plots;
+* ``evaluate``    -- run the analytic model on one algorithm/configuration;
+* ``simulate``    -- run the discrete-event testbed, optionally with a
+  crash + verified recovery at the end;
+* ``validate``    -- model-vs-testbed comparison table;
+* ``ablations``   -- the modelling-choice ablation table;
+* ``extensions``  -- the consistency-spectrum and latency extensions;
+* ``capacity``    -- throughput capacity per algorithm on a MIPS budget;
+* ``report``      -- regenerate the full report (tables + CSV + REPORT.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .checkpoint.registry import ALL_ALGORITHM_NAMES
+from .checkpoint.scheduler import CheckpointPolicy
+from .model.evaluate import evaluate
+from .params import SystemParameters
+from .simulate.system import SimulatedSystem, SimulationConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of Salem & Garcia-Molina, 'Checkpointing "
+                     "Memory-Resident Databases' (ICDE 1989)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 2a-2d")
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("which", nargs="?", default="all",
+                         choices=["4a", "4b", "4c", "4d", "4e", "all"])
+    figures.add_argument("--plot", action="store_true",
+                         help="render ASCII plots where the figure is a "
+                              "curve family")
+
+    ev = sub.add_parser("evaluate", help="analytic model, one configuration")
+    ev.add_argument("--algorithm", default="COUCOPY")
+    ev.add_argument("--interval", type=float, default=None,
+                    help="checkpoint interval in seconds (default: minimum)")
+    ev.add_argument("--lam", type=float, default=None,
+                    help="arrival rate, transactions/second")
+    ev.add_argument("--disks", type=int, default=None,
+                    help="number of backup disks")
+    ev.add_argument("--segment-size", type=int, default=None,
+                    help="segment size in words")
+    ev.add_argument("--stable-tail", action="store_true",
+                    help="stable RAM holds the log tail")
+
+    sim = sub.add_parser("simulate", help="run the discrete-event testbed")
+    sim.add_argument("--algorithm", default="COUCOPY",
+                     choices=list(ALL_ALGORITHM_NAMES))
+    sim.add_argument("--duration", type=float, default=10.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--scale", type=int, default=256,
+                     help="database scale-down factor vs the paper")
+    sim.add_argument("--lam", type=float, default=200.0)
+    sim.add_argument("--interval", type=float, default=None)
+    sim.add_argument("--crash", action="store_true",
+                     help="inject a crash at the end and verify recovery")
+    sim.add_argument("--stable-tail", action="store_true")
+
+    val = sub.add_parser("validate", help="model-vs-testbed comparison")
+    val.add_argument("--duration", type=float, default=10.0)
+    val.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("ablations", help="modelling-choice ablations")
+    sub.add_parser("extensions", help="AC/NAIVELOCK extension experiments")
+
+    cap = sub.add_parser("capacity",
+                         help="throughput capacity per algorithm")
+    cap.add_argument("--mips", type=float, default=50.0,
+                     help="processor budget in MIPS")
+
+    rep = sub.add_parser("report", help="regenerate the full report")
+    rep.add_argument("--out", default="reports",
+                     help="output directory (default: ./reports)")
+    rep.add_argument("--fast", action="store_true",
+                     help="model-only report (skip simulation sections)")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# command implementations
+# ----------------------------------------------------------------------
+
+def _cmd_tables(_args: argparse.Namespace) -> str:
+    from .experiments import tables
+    return tables.render()
+
+
+def _cmd_figures(args: argparse.Namespace) -> str:
+    from .experiments import fig4a, fig4b, fig4c, fig4d, fig4e
+    renderers = {"4a": fig4a, "4b": fig4b, "4c": fig4c,
+                 "4d": fig4d, "4e": fig4e}
+    chosen = (list(renderers) if args.which == "all" else [args.which])
+    blocks = [renderers[name].render() for name in chosen]
+    if args.plot:
+        blocks.extend(_figure_plots(chosen))
+    return "\n\n".join(blocks)
+
+
+def _figure_plots(chosen: List[str]) -> List[str]:
+    from .experiments import fig4b, fig4c
+    from .experiments.ascii_plot import AsciiPlot
+    plots: List[str] = []
+    if "4b" in chosen:
+        plot = AsciiPlot(title="Figure 4b - overhead vs recovery time",
+                         x_label="recovery time (s)",
+                         y_label="overhead (instructions/txn)", log_y=True)
+        for (alg, disks), curve in sorted(fig4b.figure4b().items()):
+            plot.add_series(f"{alg}/{disks}d",
+                            [(p.recovery_time, p.overhead_per_txn)
+                             for p in curve])
+        plots.append(plot.render())
+    if "4c" in chosen:
+        plot = AsciiPlot(title="Figure 4c - overhead vs load",
+                         x_label="arrival rate (txns/s)",
+                         y_label="overhead (instructions/txn)",
+                         log_x=True, log_y=True)
+        for name, points in fig4c.figure4c().items():
+            plot.add_series(name, [(p.lam, p.overhead_per_txn)
+                                   for p in points])
+        plots.append(plot.render())
+    return plots
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> str:
+    params = SystemParameters.paper_defaults()
+    overrides = {}
+    if args.lam is not None:
+        overrides["lam"] = args.lam
+    if args.disks is not None:
+        overrides["n_bdisks"] = args.disks
+    if args.segment_size is not None:
+        overrides["s_seg"] = args.segment_size
+    if args.stable_tail:
+        overrides["stable_log_tail"] = True
+    if overrides:
+        params = params.replace(**overrides)
+    result = evaluate(args.algorithm, params, interval=args.interval)
+    lines = [f"{args.algorithm.upper()} @ interval="
+             f"{result.interval:.2f}s (requested: "
+             f"{args.interval if args.interval is not None else 'minimum'})"]
+    for key, value in result.summary().items():
+        lines.append(f"  {key:20s} {value:.4g}")
+    return "\n".join(lines)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    params = SystemParameters.scaled_down(
+        args.scale, lam=args.lam, stable_log_tail=args.stable_tail)
+    system = SimulatedSystem(SimulationConfig(
+        params=params, algorithm=args.algorithm, seed=args.seed,
+        policy=CheckpointPolicy(interval=args.interval),
+        preload_backup=True))
+    metrics = system.run(args.duration)
+    lines = [
+        f"{args.algorithm} on a {params.n_segments}-segment database "
+        f"({args.duration:.1f}s simulated, seed {args.seed})",
+        f"  committed            {metrics.transactions_committed}",
+        f"  checkpoints          {metrics.checkpoints_completed}",
+        f"  overhead/txn         {metrics.overhead_per_transaction:.0f} "
+        f"instructions",
+        f"  aborts               {metrics.aborts or 0}",
+        f"  lock waits           {metrics.lock_waits}",
+        f"  mean response        {metrics.mean_response_time * 1e3:.2f} ms",
+        f"  disk utilisation     {metrics.disk_utilisation:.0%}",
+    ]
+    if args.crash:
+        system.crash()
+        result = system.recover()
+        mismatches = system.verify_recovery()
+        lines.append(
+            f"  crash+recover        checkpoint {result.used_checkpoint_id}, "
+            f"{result.transactions_replayed} txns replayed, "
+            f"{result.total_time:.2f}s modelled")
+        lines.append(
+            "  oracle               "
+            + ("PASS" if not mismatches else f"FAIL {mismatches}"))
+    return "\n".join(lines)
+
+
+def _cmd_validate(args: argparse.Namespace) -> str:
+    from .experiments import validation
+    rows = validation.run_validation_suite(duration=args.duration,
+                                           seed=args.seed)
+    return validation.render(rows)
+
+
+def _cmd_ablations(_args: argparse.Namespace) -> str:
+    from .experiments import ablations
+    return ablations.render()
+
+
+def _cmd_extensions(_args: argparse.Namespace) -> str:
+    from .experiments import extensions
+    return extensions.render()
+
+
+def _cmd_capacity(args: argparse.Namespace) -> str:
+    from .experiments import capacity
+    return capacity.render(mips=args.mips)
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from .experiments.report import generate_report
+    path = generate_report(args.out, include_simulations=not args.fast)
+    return f"report written to {path}"
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "figures": _cmd_figures,
+    "evaluate": _cmd_evaluate,
+    "simulate": _cmd_simulate,
+    "validate": _cmd_validate,
+    "ablations": _cmd_ablations,
+    "extensions": _cmd_extensions,
+    "capacity": _cmd_capacity,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        print(_COMMANDS[args.command](args))
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+    return 0

@@ -1,0 +1,13 @@
+"""Processor cost accounting.
+
+The paper's central performance metric is *processor overhead*: the number
+of instructions the checkpointing machinery costs per transaction, split
+into synchronous work (done on a transaction's critical path) and
+asynchronous work (done by the checkpointer and amortized over the
+transactions of one checkpoint interval).  This subpackage provides the
+instruction ledger both the simulator and the analytic model use.
+"""
+
+from .accounting import CostCategory, CostLedger, OperationCosts
+
+__all__ = ["CostCategory", "CostLedger", "OperationCosts"]

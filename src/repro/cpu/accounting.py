@@ -1,0 +1,239 @@
+"""Instruction-cost ledger (paper Section 2.1).
+
+The model charges the CPU per *basic operation*: locking, log-sequence-
+number maintenance, buffer (de)allocation, I/O initiation, and data
+movement at one instruction per word.  :class:`CostLedger` records those
+charges, tagged by category and by whether they are **synchronous** (on a
+transaction's critical path) or **asynchronous** (checkpointer work that
+is amortized over transactions).
+
+The simulator threads a single ledger through every component; the test
+suite uses it to check that each algorithm's measured cost profile matches
+the analytic model's prediction.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..params import INSTRUCTIONS_PER_WORD_MOVED, SystemParameters
+
+
+class CostCategory(enum.Enum):
+    """What a batch of instructions was spent on."""
+
+    LOCK = "lock"
+    """Acquiring or releasing a lock (``C_lock`` each)."""
+
+    LSN = "lsn"
+    """Maintaining or checking a log sequence number (``C_lsn`` each)."""
+
+    ALLOC = "alloc"
+    """Dynamically allocating or freeing a buffer (``C_alloc`` each)."""
+
+    IO = "io"
+    """Initiating a disk I/O (``C_io`` each; DMA makes it size-independent)."""
+
+    COPY = "copy"
+    """Moving data within primary memory (one instruction per word)."""
+
+    DIRTY_CHECK = "dirty_check"
+    """Testing a segment's dirty bit during a partial-checkpoint sweep."""
+
+    TRANSACTION = "transaction"
+    """Running a transaction's own logic (``C_trans`` per execution)."""
+
+    RESTART = "restart"
+    """Re-running a transaction aborted by the checkpointer."""
+
+    LOGGING = "logging"
+    """Routine log maintenance (group flushes).  The paper's checkpoint
+    overhead metric explicitly excludes logging costs, so this category is
+    left out of :meth:`CostLedger.checkpoint_overhead_total`."""
+
+
+@dataclass(frozen=True)
+class OperationCosts:
+    """The per-operation prices, extracted from :class:`SystemParameters`.
+
+    Kept as a separate small object so components need not depend on the
+    full parameter set just to charge costs.
+    """
+
+    c_lock: float
+    c_lsn: float
+    c_alloc: float
+    c_io: float
+    c_dirty_check: float
+    c_trans: float
+    per_word: float = INSTRUCTIONS_PER_WORD_MOVED
+
+    @classmethod
+    def from_params(cls, params: SystemParameters) -> "OperationCosts":
+        return cls(
+            c_lock=params.c_lock,
+            c_lsn=params.c_lsn,
+            c_alloc=params.c_alloc,
+            c_io=params.c_io,
+            c_dirty_check=params.c_dirty_check,
+            c_trans=params.c_trans,
+        )
+
+
+class CostLedger:
+    """Accumulates instruction costs by category and synchrony.
+
+    Synchronous charges are work done on behalf of a particular transaction
+    (Section 4: "synchronous overhead"); asynchronous charges are the
+    checkpointer's own work.  The paper's combined overhead metric is::
+
+        overhead/txn = sync_total / n_txns  +  async_total / n_txns
+
+    where ``n_txns`` is the number of transactions that ran during the
+    checkpoint interval; :meth:`overhead_per_transaction` computes it.
+    """
+
+    def __init__(self, costs: OperationCosts) -> None:
+        self.costs = costs
+        self._sync: defaultdict[CostCategory, float] = defaultdict(float)
+        self._async: defaultdict[CostCategory, float] = defaultdict(float)
+
+    # -- raw charging ---------------------------------------------------
+    def charge(
+        self, category: CostCategory, instructions: float, *, synchronous: bool
+    ) -> None:
+        """Record ``instructions`` spent on ``category`` work."""
+        if instructions < 0:
+            raise ConfigurationError(
+                f"cannot charge negative instructions ({instructions!r})"
+            )
+        bucket = self._sync if synchronous else self._async
+        bucket[category] += instructions
+
+    # -- basic-operation helpers (paper Table 2a) ------------------------
+    def charge_lock(self, *, synchronous: bool, operations: int = 1) -> None:
+        """Charge ``operations`` lock *or* unlock operations."""
+        self.charge(CostCategory.LOCK, self.costs.c_lock * operations,
+                    synchronous=synchronous)
+
+    def charge_lsn(self, *, synchronous: bool, operations: int = 1) -> None:
+        """Charge ``operations`` LSN maintenance/check operations."""
+        self.charge(CostCategory.LSN, self.costs.c_lsn * operations,
+                    synchronous=synchronous)
+
+    def charge_alloc(self, *, synchronous: bool, operations: int = 1) -> None:
+        """Charge ``operations`` buffer (de)allocations."""
+        self.charge(CostCategory.ALLOC, self.costs.c_alloc * operations,
+                    synchronous=synchronous)
+
+    def charge_io(self, *, synchronous: bool, operations: int = 1) -> None:
+        """Charge the CPU cost of initiating ``operations`` disk I/Os."""
+        self.charge(CostCategory.IO, self.costs.c_io * operations,
+                    synchronous=synchronous)
+
+    def charge_copy(self, words: float, *, synchronous: bool) -> None:
+        """Charge a data movement of ``words`` words (1 instruction/word)."""
+        self.charge(CostCategory.COPY, self.costs.per_word * words,
+                    synchronous=synchronous)
+
+    def charge_dirty_check(self, *, synchronous: bool, operations: int = 1) -> None:
+        """Charge ``operations`` dirty-bit tests (partial checkpoints)."""
+        self.charge(CostCategory.DIRTY_CHECK,
+                    self.costs.c_dirty_check * operations,
+                    synchronous=synchronous)
+
+    def charge_transaction_run(self, *, restart: bool = False) -> None:
+        """Charge one execution of a transaction's own logic (``C_trans``).
+
+        A first run is *not* checkpointing overhead (the paper excludes it)
+        but reruns caused by checkpointer-induced aborts are, so they are
+        recorded under :attr:`CostCategory.RESTART`.
+        """
+        category = CostCategory.RESTART if restart else CostCategory.TRANSACTION
+        self.charge(category, self.costs.c_trans, synchronous=True)
+
+    # -- totals ----------------------------------------------------------
+    @property
+    def synchronous_total(self) -> float:
+        return sum(self._sync.values())
+
+    @property
+    def asynchronous_total(self) -> float:
+        return sum(self._async.values())
+
+    @property
+    def total(self) -> float:
+        return self.synchronous_total + self.asynchronous_total
+
+    def by_category(self, *, synchronous: bool | None = None) -> dict[CostCategory, float]:
+        """Return per-category totals; ``synchronous=None`` merges both."""
+        if synchronous is True:
+            return dict(self._sync)
+        if synchronous is False:
+            return dict(self._async)
+        merged: dict[CostCategory, float] = {}
+        for bucket in (self._sync, self._async):
+            for category, value in bucket.items():
+                merged[category] = merged.get(category, 0.0) + value
+        return merged
+
+    def checkpoint_overhead_total(self) -> float:
+        """Total instructions attributable to checkpointing.
+
+        Everything in the ledger except first-run transaction executions
+        and routine logging, matching the paper's "overhead that is
+        directly related to checkpointing" (Section 4 excludes log
+        creation and maintenance from the metric).
+        """
+        excluded = (
+            self._sync.get(CostCategory.TRANSACTION, 0.0)
+            + self._sync.get(CostCategory.LOGGING, 0.0)
+            + self._async.get(CostCategory.LOGGING, 0.0)
+        )
+        return self.total - excluded
+
+    def overhead_per_transaction(self, n_transactions: int) -> float:
+        """The paper's combined metric: checkpoint cost per transaction."""
+        if n_transactions <= 0:
+            raise ConfigurationError(
+                f"n_transactions must be positive, got {n_transactions!r}"
+            )
+        return self.checkpoint_overhead_total() / n_transactions
+
+    # -- bookkeeping -----------------------------------------------------
+    def snapshot(self) -> "LedgerSnapshot":
+        """An immutable copy of the current totals (for deltas)."""
+        return LedgerSnapshot(
+            sync=dict(self._sync),
+            async_=dict(self._async),
+        )
+
+    def reset(self) -> None:
+        """Discard all recorded charges."""
+        self._sync.clear()
+        self._async.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CostLedger(sync={self.synchronous_total:.0f}, "
+            f"async={self.asynchronous_total:.0f})"
+        )
+
+
+@dataclass(frozen=True)
+class LedgerSnapshot:
+    """Frozen ledger totals, used to compute per-phase deltas."""
+
+    sync: dict[CostCategory, float]
+    async_: dict[CostCategory, float]
+
+    def delta_from(self, ledger: CostLedger) -> dict[str, float]:
+        """Instructions charged since this snapshot, by synchrony."""
+        sync_now = ledger.by_category(synchronous=True)
+        async_now = ledger.by_category(synchronous=False)
+        sync_delta = sum(sync_now.values()) - sum(self.sync.values())
+        async_delta = sum(async_now.values()) - sum(self.async_.values())
+        return {"synchronous": sync_delta, "asynchronous": async_delta}

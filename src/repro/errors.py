@@ -1,0 +1,85 @@
+"""Exception hierarchy for the checkpointing reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package-level failures with a single ``except`` clause
+while still being able to distinguish the interesting sub-cases
+(transaction aborts, WAL violations, recovery failures, ...).
+
+The two-color abort (:class:`TwoColorViolation`) deserves a note: in the
+paper, a transaction that touches both white (not yet checkpointed) and
+black (already checkpointed) data during an active two-color checkpoint is
+aborted and rerun.  The simulator models that control flow with this
+exception -- the transaction manager catches it and schedules a rerun, so
+user code normally never sees it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model or system parameter is missing, inconsistent, or out of range."""
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the in-memory database substrate."""
+
+
+class AddressError(DatabaseError, IndexError):
+    """A record or segment address is outside the database bounds."""
+
+
+class LockError(DatabaseError):
+    """A lock request could not be honoured (conflict or protocol misuse)."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction lifecycle errors."""
+
+
+class TransactionAborted(TransactionError):
+    """A transaction was aborted and (depending on policy) will be rerun.
+
+    Attributes:
+        reason: short machine-readable tag, e.g. ``"two-color"``.
+    """
+
+    def __init__(self, message: str, reason: str = "aborted") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class TwoColorViolation(TransactionAborted):
+    """A transaction accessed both white and black data during a 2C checkpoint."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, reason="two-color")
+
+
+class InvalidStateError(ReproError, RuntimeError):
+    """An operation was attempted in a state where it is not permitted."""
+
+
+class WALViolation(ReproError):
+    """The write-ahead-log protocol was violated.
+
+    Raised when a segment image would reach stable storage before the log
+    records of updates it reflects are themselves stable.  A correct
+    checkpointer never triggers this; the check exists so that the test
+    suite can *prove* each algorithm respects WAL.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpointer reached an inconsistent internal state."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not reconstruct a consistent primary database."""
+
+
+class CrashError(ReproError):
+    """Raised internally to unwind the simulator when a crash is injected."""

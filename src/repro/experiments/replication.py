@@ -1,0 +1,109 @@
+"""Replicated testbed runs with confidence intervals.
+
+One simulation run is one sample; conclusions about measured overhead or
+latency should come with uncertainty.  :func:`replicate` runs the same
+configuration across several seeds and summarises each metric with a
+Student-t confidence interval, and :func:`compare` decides whether two
+algorithms' measured overheads are statistically separated (their CIs do
+not overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..checkpoint.scheduler import CheckpointPolicy
+from ..params import SystemParameters
+from ..simulate.system import SimulatedSystem, SimulationConfig
+from .common import text_table
+from .stats import SampleSummary, summarize
+from .validation import validation_params
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """CI summaries of one algorithm's measured metrics."""
+
+    algorithm: str
+    overhead: SampleSummary
+    abort_probability: SampleSummary
+    mean_response_time: SampleSummary
+    committed_total: int
+
+
+def replicate(
+    algorithm: str,
+    *,
+    params: Optional[SystemParameters] = None,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    duration: float = 8.0,
+    warmup: float = 4.0,
+    confidence: float = 0.95,
+) -> ReplicatedResult:
+    """Run ``algorithm`` across ``seeds`` and summarise the metrics."""
+    if params is None:
+        params = validation_params(200.0)
+        if algorithm.upper() == "FASTFUZZY":
+            params = params.replace(stable_log_tail=True)
+    overheads: List[float] = []
+    aborts: List[float] = []
+    responses: List[float] = []
+    committed_total = 0
+    for seed in seeds:
+        system = SimulatedSystem(SimulationConfig(
+            params=params, algorithm=algorithm, seed=seed,
+            policy=CheckpointPolicy(), preload_backup=True))
+        if warmup > 0:
+            system.run(warmup)
+            system.reset_measurements()
+        metrics = system.run(duration)
+        overheads.append(metrics.overhead_per_transaction)
+        aborts.append(metrics.abort_probability)
+        responses.append(metrics.mean_response_time)
+        committed_total += metrics.transactions_committed
+    return ReplicatedResult(
+        algorithm=algorithm.upper(),
+        overhead=summarize(overheads, confidence),
+        abort_probability=summarize(aborts, confidence),
+        mean_response_time=summarize(responses, confidence),
+        committed_total=committed_total,
+    )
+
+
+def compare(
+    algorithms: Sequence[str],
+    *,
+    params: Optional[SystemParameters] = None,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    duration: float = 8.0,
+) -> Dict[str, ReplicatedResult]:
+    """Replicate several algorithms under identical configurations."""
+    return {
+        name.upper(): replicate(name, params=params, seeds=seeds,
+                                duration=duration)
+        for name in algorithms
+    }
+
+
+def separated(a: ReplicatedResult, b: ReplicatedResult) -> bool:
+    """Whether two algorithms' overhead CIs are disjoint."""
+    return not a.overhead.overlaps(b.overhead)
+
+
+def render(results: Optional[Dict[str, ReplicatedResult]] = None) -> str:
+    if results is None:
+        results = compare(["FUZZYCOPY", "COUCOPY", "2CCOPY"])
+    rows = [
+        (r.algorithm, str(r.overhead), f"{r.abort_probability.mean:.3f}",
+         f"{r.mean_response_time.mean * 1e3:.2f}ms", r.committed_total)
+        for r in results.values()
+    ]
+    return text_table(
+        ["algorithm", "overhead/txn (CI)", "p(abort)", "mean resp",
+         "txns"],
+        rows, title="Replicated testbed measurements (5 seeds)")
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,21 @@
+"""The memory-resident database substrate (paper Section 2.4, 2.6).
+
+The primary database lives entirely in (simulated) volatile primary
+memory.  It is an array of fixed-size **records** -- the granule of the
+transaction interface -- grouped into fixed-size **segments**, the granule
+of transfer to the backup disks.  Each segment carries the per-segment
+state the checkpoint algorithms need: a dirty bit, a paint bit (two-color
+algorithms), a timestamp and old-copy pointer (copy-on-update algorithms),
+and the LSN of the latest update it reflects (for write-ahead-log checks).
+
+Transactions use a shadow-copy update scheme (Section 2.6): updates live
+in a transaction-local buffer until commit, then are installed by
+overwriting the old record values.
+"""
+
+from .database import Database
+from .locks import LockManager, LockMode
+from .segment import Segment
+from .shadow import ShadowBuffer
+
+__all__ = ["Database", "LockManager", "LockMode", "Segment", "ShadowBuffer"]

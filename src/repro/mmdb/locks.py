@@ -1,0 +1,180 @@
+"""Per-segment lock manager.
+
+The checkpoint algorithms synchronise with transactions through segment
+locks (paper Section 2.1: each lock or unlock costs ``C_lock``
+instructions).  Two modes suffice:
+
+* ``SHARED`` -- the checkpointer reads a segment (2C/COU flush or copy);
+* ``EXCLUSIVE`` -- a transaction installs updates into a segment, or the
+  COU checkpointer inspects ``tau(CUR_SEG)`` (Figure 3.3 takes an
+  exclusive lock first).
+
+In the simulator, transactions execute instantaneously at commit time and
+therefore never hold a lock across simulated time; only the checkpointer
+does (for the duration of a disk write under the FLUSH variants, or a
+memory copy under the COPY variants).  The wait queue with grant
+callbacks nevertheless implements the general protocol, so tests can
+exercise arbitrary interleavings.
+
+Grants are FIFO: a waiting exclusive request blocks later shared requests
+even while earlier shared holders are still active (no starvation).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Hashable, Optional
+
+from ..errors import LockError
+
+Owner = Hashable
+GrantCallback = Callable[[], None]
+
+
+class LockMode(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+def _compatible(requested: LockMode, held: LockMode) -> bool:
+    return requested is LockMode.SHARED and held is LockMode.SHARED
+
+
+@dataclass
+class _Waiter:
+    owner: Owner
+    mode: LockMode
+    callback: Optional[GrantCallback]
+
+
+@dataclass
+class _SegmentLock:
+    holders: Dict[Owner, LockMode] = field(default_factory=dict)
+    queue: Deque[_Waiter] = field(default_factory=deque)
+
+    def grants_allowed(self, mode: LockMode) -> bool:
+        return all(_compatible(mode, held) for held in self.holders.values())
+
+
+class LockManager:
+    """Segment-granularity shared/exclusive locks with FIFO waiting."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[int, _SegmentLock] = {}
+        self.acquisitions = 0
+        self.waits = 0
+
+    def _lock(self, segment_index: int) -> _SegmentLock:
+        return self._locks.setdefault(segment_index, _SegmentLock())
+
+    # -- queries ------------------------------------------------------------
+    def is_locked(self, segment_index: int) -> bool:
+        lock = self._locks.get(segment_index)
+        return bool(lock and lock.holders)
+
+    def holds(self, segment_index: int, owner: Owner) -> Optional[LockMode]:
+        """The mode ``owner`` holds on the segment, or None."""
+        lock = self._locks.get(segment_index)
+        if lock is None:
+            return None
+        return lock.holders.get(owner)
+
+    def is_exclusively_locked(self, segment_index: int) -> bool:
+        lock = self._locks.get(segment_index)
+        if lock is None:
+            return False
+        return any(mode is LockMode.EXCLUSIVE for mode in lock.holders.values())
+
+    # -- acquisition ----------------------------------------------------------
+    def try_acquire(self, segment_index: int, owner: Owner,
+                    mode: LockMode) -> bool:
+        """Acquire immediately if compatible and no one is queued ahead."""
+        lock = self._lock(segment_index)
+        if owner in lock.holders:
+            return self._upgrade(lock, segment_index, owner, mode)
+        if lock.queue or not lock.grants_allowed(mode):
+            return False
+        lock.holders[owner] = mode
+        self.acquisitions += 1
+        return True
+
+    def acquire_or_wait(self, segment_index: int, owner: Owner,
+                        mode: LockMode,
+                        callback: Optional[GrantCallback] = None) -> bool:
+        """Acquire now (returns True) or join the FIFO queue (returns False).
+
+        When the lock is eventually granted, ``callback`` is invoked (the
+        grant happens inside :meth:`release`).
+        """
+        if self.try_acquire(segment_index, owner, mode):
+            return True
+        self._lock(segment_index).queue.append(_Waiter(owner, mode, callback))
+        self.waits += 1
+        return False
+
+    def _upgrade(self, lock: _SegmentLock, segment_index: int,
+                 owner: Owner, mode: LockMode) -> bool:
+        held = lock.holders[owner]
+        if held is mode or mode is LockMode.SHARED:
+            return True  # re-entrant or downgrade request: already satisfied
+        others = [o for o in lock.holders if o != owner]
+        if others:
+            raise LockError(
+                f"owner {owner!r} cannot upgrade segment {segment_index} to "
+                f"exclusive while {len(others)} other holder(s) remain"
+            )
+        lock.holders[owner] = LockMode.EXCLUSIVE
+        return True
+
+    # -- release ----------------------------------------------------------------
+    def release(self, segment_index: int, owner: Owner) -> None:
+        """Release ``owner``'s lock and grant queued waiters FIFO."""
+        lock = self._locks.get(segment_index)
+        if lock is None or owner not in lock.holders:
+            raise LockError(
+                f"owner {owner!r} does not hold a lock on segment {segment_index}"
+            )
+        del lock.holders[owner]
+        self._grant_waiters(segment_index, lock)
+        # A grant callback may itself have released (and garbage-collected)
+        # this entry re-entrantly; only delete if it is still ours.
+        if (not lock.holders and not lock.queue
+                and self._locks.get(segment_index) is lock):
+            del self._locks[segment_index]
+
+    def downgrade(self, segment_index: int, owner: Owner) -> None:
+        """Exclusive -> shared (COU Figure 3.3 re-locks shared to flush)."""
+        lock = self._locks.get(segment_index)
+        if lock is None or lock.holders.get(owner) is not LockMode.EXCLUSIVE:
+            raise LockError(
+                f"owner {owner!r} holds no exclusive lock on segment "
+                f"{segment_index} to downgrade"
+            )
+        lock.holders[owner] = LockMode.SHARED
+        self._grant_waiters(segment_index, lock)
+
+    def _grant_waiters(self, segment_index: int, lock: _SegmentLock) -> None:
+        while lock.queue:
+            head = lock.queue[0]
+            if not lock.grants_allowed(head.mode):
+                break
+            lock.queue.popleft()
+            lock.holders[head.owner] = head.mode
+            self.acquisitions += 1
+            if head.callback is not None:
+                head.callback()
+
+    # -- bookkeeping ----------------------------------------------------------
+    def release_all(self, owner: Owner) -> int:
+        """Release every lock ``owner`` holds; returns how many."""
+        held = [idx for idx, lock in list(self._locks.items())
+                if owner in lock.holders]
+        for idx in held:
+            self.release(idx, owner)
+        return len(held)
+
+    def reset(self) -> None:
+        """Drop all lock state (crash: volatile memory is lost)."""
+        self._locks.clear()

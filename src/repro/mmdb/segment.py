@@ -1,0 +1,126 @@
+"""Segments: the unit of transfer between primary memory and backup disks.
+
+A :class:`Segment` owns a contiguous range of records and the per-segment
+metadata that the checkpoint algorithms of Section 3 manipulate:
+
+* ``dirty`` -- set by transaction updates, cleared by the checkpointer;
+  enables *partial* checkpoints (only dirty segments are flushed).
+* ``painted_black`` -- the two-color paint bit of Pu's algorithm: black
+  segments have already been included in the current checkpoint.
+* ``timestamp`` -- tau(S), the timestamp of the most recent transaction to
+  update the segment (copy-on-update algorithms).
+* ``old_copy`` -- p(S), the pointer to a saved pre-checkpoint copy of the
+  segment's data, created by the first transaction to update it after a
+  copy-on-update checkpoint began.
+* ``old_copy_timestamp`` -- tau of the saved copy (the figure-3.3 test
+  ``tau(OLD_SEG) > tau(OLDCH)`` needs it).
+* ``lsn`` -- the LSN of the latest update reflected in the segment, used
+  by FUZZYCOPY/2C/COU-style algorithms to respect the write-ahead rule.
+
+Record *values* are held in a numpy array owned by the database; the
+segment stores only its slice bounds plus metadata, so taking a copy of a
+segment is a single vectorised operation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import InvalidStateError
+
+
+class Segment:
+    """Metadata and value-slice handle for one database segment."""
+
+    __slots__ = (
+        "index",
+        "first_record",
+        "n_records",
+        "_values",
+        "dirty",
+        "painted_black",
+        "timestamp",
+        "lsn",
+        "old_copy",
+        "old_copy_timestamp",
+        "old_copy_lsn",
+    )
+
+    def __init__(self, index: int, first_record: int, n_records: int,
+                 values: np.ndarray) -> None:
+        self.index = index
+        self.first_record = first_record
+        self.n_records = n_records
+        self._values = values  # the database-wide value array (shared)
+        self.dirty = False
+        self.painted_black = False
+        self.timestamp = 0.0
+        self.lsn = 0
+        self.old_copy: Optional[np.ndarray] = None
+        self.old_copy_timestamp = 0.0
+        self.old_copy_lsn = 0
+
+    # -- value access ------------------------------------------------------
+    @property
+    def record_range(self) -> range:
+        """Record ids covered by this segment."""
+        return range(self.first_record, self.first_record + self.n_records)
+
+    def data(self) -> np.ndarray:
+        """A *view* of the segment's current record values."""
+        return self._values[self.first_record:self.first_record + self.n_records]
+
+    def copy_data(self) -> np.ndarray:
+        """A snapshot copy of the segment's current record values."""
+        return self.data().copy()
+
+    def load_data(self, data: np.ndarray) -> None:
+        """Overwrite the segment's records (used by recovery)."""
+        if data.shape != (self.n_records,):
+            raise InvalidStateError(
+                f"segment {self.index} expects {self.n_records} records, "
+                f"got shape {data.shape}"
+            )
+        self.data()[:] = data
+
+    # -- copy-on-update support ---------------------------------------------
+    def save_old_copy(self) -> np.ndarray:
+        """Save a pre-update snapshot (COU Figure 3.2) and return it.
+
+        The copy is taken "including timestamp" (Figure 3.2): the saved
+        tau is the segment's *current* tau(S), i.e. the last update before
+        the checkpoint began -- the checkpointer's staleness test
+        ``tau(OLD_SEG) > tau(OLDCH)`` compares against it.
+
+        Raises:
+            InvalidStateError: if an old copy already exists; the COU
+                algorithm copies each segment at most once per checkpoint.
+        """
+        if self.old_copy is not None:
+            raise InvalidStateError(
+                f"segment {self.index} already has an old copy this checkpoint"
+            )
+        self.old_copy = self.copy_data()
+        self.old_copy_timestamp = self.timestamp
+        self.old_copy_lsn = self.lsn
+        return self.old_copy
+
+    def drop_old_copy(self) -> None:
+        """Release the old copy (after the checkpointer has flushed it)."""
+        self.old_copy = None
+        self.old_copy_timestamp = 0.0
+        self.old_copy_lsn = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            flag
+            for flag, on in (
+                ("D", self.dirty),
+                ("B", self.painted_black),
+                ("O", self.old_copy is not None),
+            )
+            if on
+        )
+        return f"Segment({self.index}, flags={flags or '-'}, lsn={self.lsn})"

@@ -1,0 +1,63 @@
+"""Segment dirtying mathematics.
+
+Updates arrive at each segment as a Poisson process of rate
+``u = lam * N_ru / n_segments`` (uniform record selection, Section 2.5).
+Everything the model needs about dirtying follows from that:
+
+* the probability a segment receives at least one update in a window of
+  ``w`` seconds is ``1 - exp(-u * w)`` -- the *dirty fraction* that sizes
+  partial checkpoints;
+* a copy-on-update checkpoint copies a segment iff the segment is
+  updated before the sweep reaches it.  With the sweep moving linearly
+  over active duration ``T``, segment ``i`` of ``N`` is reached at
+  ``t_i = (i / N) * T``, so the expected number of copies is::
+
+      sum_i (1 - exp(-u * t_i))  ~=  N * (1 - (1 - exp(-u*T)) / (u*T))
+
+  (the integral form; exact in the large-``N`` limit the paper's
+  parameters live in).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+from ..params import SystemParameters
+
+
+def dirty_fraction(params: SystemParameters, window: float) -> float:
+    """Probability a given segment is updated within ``window`` seconds."""
+    if window < 0:
+        raise ConfigurationError(f"window must be >= 0, got {window!r}")
+    return -math.expm1(-params.segment_update_rate * window)
+
+
+def expected_dirty_segments(params: SystemParameters, window: float) -> float:
+    """Expected distinct segments updated within ``window`` seconds."""
+    return params.n_segments * dirty_fraction(params, window)
+
+
+def copy_fraction(params: SystemParameters, sweep_duration: float) -> float:
+    """Probability a segment is updated before the COU sweep reaches it.
+
+    ``sweep_duration`` is the checkpoint's *active* duration; the sweep
+    position is assumed to advance linearly (the I/O pump delivers a
+    constant segment rate when the disks are the bottleneck).
+    """
+    if sweep_duration < 0:
+        raise ConfigurationError(
+            f"sweep_duration must be >= 0, got {sweep_duration!r}")
+    x = params.segment_update_rate * sweep_duration
+    if x == 0.0:
+        return 0.0
+    if x < 1e-8:
+        # 1 - (1 - e^-x)/x -> x/2 as x -> 0 (second-order Taylor).
+        return x / 2.0
+    return 1.0 + math.expm1(-x) / x
+
+
+def expected_cou_copies(params: SystemParameters,
+                        sweep_duration: float) -> float:
+    """Expected copy-on-update snapshots taken during one checkpoint."""
+    return params.n_segments * copy_fraction(params, sweep_duration)

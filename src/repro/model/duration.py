@@ -1,0 +1,123 @@
+"""Checkpoint durations (paper Section 4).
+
+"The minimum possible checkpoint duration is a function of the bandwidth
+to the backup disks and the rate at which transactions dirty database
+segments."  Concretely:
+
+* a **full** checkpoint flushes all ``N`` segments, taking
+  ``N * (T_seek + T_trans * S_seg) / N_bdisks`` seconds;
+* a **partial** checkpoint flushes the segments stale in the current
+  ping-pong image -- those updated in the last ``w`` checkpoint
+  intervals (``w = 2`` for ping-pong alternation).  At the minimum the
+  interval *equals* the flush time, giving the fixed point::
+
+      T = N * (1 - exp(-u * w * T)) * t_seg / N_bdisks
+
+  solved here by damped iteration from the full-checkpoint time (the map
+  is increasing and bounded, so iteration converges monotonically).
+
+When the operator inserts a delay (interval policy), the *active*
+duration is the flush time implied by the chosen interval, and the
+interval stretches automatically if the flushing cannot finish in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..checkpoint.base import CheckpointScope
+from ..errors import ConfigurationError
+from ..params import SystemParameters
+from .dirtying import expected_dirty_segments
+
+#: Relative tolerance for the minimum-duration fixed point.
+_FIXED_POINT_TOL = 1e-12
+_FIXED_POINT_MAX_ITER = 500
+
+
+@dataclass(frozen=True)
+class DurationModel:
+    """Resolved timing of one steady-state checkpoint cycle."""
+
+    interval: float        # begin-to-begin time, seconds
+    active: float          # time the checkpointer is actually flushing
+    segments_flushed: float
+
+    @property
+    def active_fraction(self) -> float:
+        """Fraction of the interval during which a checkpoint is active."""
+        if self.interval <= 0:
+            return 1.0
+        return min(1.0, self.active / self.interval)
+
+
+def full_checkpoint_time(params: SystemParameters) -> float:
+    """Flush time of a full checkpoint through the array."""
+    return params.full_checkpoint_time
+
+
+def flush_time(params: SystemParameters, n_segments: float) -> float:
+    """Flush time for ``n_segments`` segment writes through the array."""
+    return n_segments * params.segment_io_time / params.n_bdisks
+
+
+def segments_to_flush(params: SystemParameters, scope: CheckpointScope,
+                      interval: float, dirty_window_intervals: float) -> float:
+    """Expected segments a checkpoint flushes given its interval."""
+    if scope is CheckpointScope.FULL:
+        return float(params.n_segments)
+    window = dirty_window_intervals * interval
+    return expected_dirty_segments(params, window)
+
+
+def minimum_duration(params: SystemParameters,
+                     scope: CheckpointScope = CheckpointScope.PARTIAL,
+                     dirty_window_intervals: float = 2.0) -> float:
+    """The smallest steady-state checkpoint interval, in seconds.
+
+    Floored at one effective segment write so degenerate loads (nothing
+    to flush) keep a physically meaningful duration.
+    """
+    floor = params.segment_io_time / params.n_bdisks
+    if scope is CheckpointScope.FULL:
+        return max(floor, full_checkpoint_time(params))
+    if dirty_window_intervals <= 0:
+        raise ConfigurationError(
+            f"dirty_window_intervals must be positive, "
+            f"got {dirty_window_intervals!r}")
+    t = full_checkpoint_time(params)
+    for _ in range(_FIXED_POINT_MAX_ITER):
+        n_flush = segments_to_flush(params, scope, t, dirty_window_intervals)
+        t_next = max(floor, flush_time(params, n_flush))
+        if abs(t_next - t) <= _FIXED_POINT_TOL * max(t, 1e-30):
+            return t_next
+        t = t_next
+    return t
+
+
+def resolve_durations(
+    params: SystemParameters,
+    interval: float | None,
+    scope: CheckpointScope = CheckpointScope.PARTIAL,
+    dirty_window_intervals: float = 2.0,
+) -> DurationModel:
+    """Resolve the steady-state cycle for a policy.
+
+    ``interval=None`` is the minimum-duration (back-to-back) policy.  A
+    requested interval shorter than the minimum stretches to it -- the
+    simulator behaves the same way (the next checkpoint cannot start
+    before the previous one finishes).
+    """
+    minimum = minimum_duration(params, scope, dirty_window_intervals)
+    if interval is None:
+        effective = minimum
+    else:
+        if interval <= 0:
+            raise ConfigurationError(
+                f"interval must be positive or None, got {interval!r}")
+        effective = max(interval, minimum)
+    n_flush = segments_to_flush(params, scope, effective,
+                                dirty_window_intervals)
+    active = min(effective, flush_time(params, n_flush))
+    return DurationModel(interval=effective, active=active,
+                         segments_flushed=n_flush)

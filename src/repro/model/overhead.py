@@ -1,0 +1,214 @@
+"""Per-algorithm processor overhead (paper Section 4).
+
+The paper's combined metric: synchronous overhead (work done on a
+transaction's critical path) plus the checkpointer's asynchronous work
+divided by the number of transactions that run during one checkpoint
+interval.  All quantities are instructions; prices come from Table 2a
+plus one instruction per word moved.
+
+Cost inventory (mirrors the simulator's ledger charges exactly; the
+validation tests diff the two):
+
+====================  =====================================================
+component             charge
+====================  =====================================================
+sweep, every segment  partial scope: ``C_dirty_check``; two-color and COU
+                      additionally pay a lock/unlock pair
+flush, FUZZYCOPY      ``2*C_alloc + S_seg + C_io`` (+ ``C_lsn`` unless the
+                      log tail is stable)
+flush, FASTFUZZY      ``C_io``
+flush, 2CFLUSH        ``C_io`` (+ ``C_lsn``)
+flush, 2CCOPY         ``2*C_alloc + S_seg + C_io`` (+ ``C_lsn``)
+COU old-copy flush    ``C_io + C_alloc`` (the copy itself was paid
+                      synchronously by the updating transaction)
+COU wasted copy       ``C_alloc`` (freed unflushed)
+COU live flush        ``2*C_lock + C_io`` (FLUSH) or
+                      ``2*C_lock + 2*C_alloc + S_seg + C_io`` (COPY)
+checkpoint ends       one forced log flush (``C_io``); COU begins add one
+synchronous, LSNs     ``N_ru * C_lsn`` per transaction for the algorithms
+                      that maintain them (dropped with a stable tail)
+synchronous, COU      ``(C_alloc + S_seg)`` per copy-on-update snapshot
+synchronous, 2C       ``E[reruns] * C_trans`` (rerunning aborted work)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..checkpoint.base import CheckpointScope
+from ..errors import ConfigurationError
+from ..params import SystemParameters
+from .dirtying import copy_fraction
+from .duration import DurationModel
+from .restarts import (
+    abort_probability,
+    expected_reruns,
+    expected_reruns_heterogeneous,
+)
+
+RESTART_MODELS = ("geometric", "heterogeneous")
+
+_FUZZY = ("FUZZYCOPY", "FASTFUZZY")
+_TWO_COLOR = ("2CFLUSH", "2CCOPY")
+_COU = ("COUFLUSH", "COUCOPY")
+_ACTION_CONSISTENT = ("ACFLUSH", "ACCOPY")
+
+#: The six algorithms the paper evaluates (its figures use these).
+PAPER_ALGORITHMS = _FUZZY + _TWO_COLOR + _COU
+
+#: Everything the model can price, including the AC extensions.
+KNOWN_ALGORITHMS = PAPER_ALGORITHMS + _ACTION_CONSISTENT
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Modelled checkpoint overhead for one algorithm/configuration."""
+
+    algorithm: str
+    sync_per_txn: Dict[str, float]
+    async_per_checkpoint: Dict[str, float]
+    transactions_per_interval: float
+    abort_probability: float
+    reruns_per_txn: float
+    cou_copies_per_checkpoint: float
+
+    @property
+    def sync_total_per_txn(self) -> float:
+        return sum(self.sync_per_txn.values())
+
+    @property
+    def async_total_per_checkpoint(self) -> float:
+        return sum(self.async_per_checkpoint.values())
+
+    @property
+    def async_per_txn(self) -> float:
+        if self.transactions_per_interval <= 0:
+            return 0.0
+        return self.async_total_per_checkpoint / self.transactions_per_interval
+
+    @property
+    def overhead_per_txn(self) -> float:
+        """The paper's combined metric, instructions per transaction."""
+        return self.sync_total_per_txn + self.async_per_txn
+
+
+def _validate(algorithm: str, params: SystemParameters) -> str:
+    algorithm = algorithm.upper()
+    if algorithm not in KNOWN_ALGORITHMS:
+        known = ", ".join(KNOWN_ALGORITHMS)
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; known: {known}")
+    if algorithm == "FASTFUZZY" and not params.stable_log_tail:
+        raise ConfigurationError(
+            "FASTFUZZY requires params.stable_log_tail=True (Section 4)")
+    return algorithm
+
+
+def compute_overhead(
+    algorithm: str,
+    params: SystemParameters,
+    durations: DurationModel,
+    scope: CheckpointScope = CheckpointScope.PARTIAL,
+    restart_model: str = "geometric",
+) -> OverheadModel:
+    """Assemble the overhead model for ``algorithm``.
+
+    ``restart_model`` selects how two-color reruns are estimated:
+    ``"geometric"`` (the paper's independent-retry assumption, the
+    default) or ``"heterogeneous"`` (per-transaction span heterogeneity,
+    which the testbed validates -- see repro.model.restarts).
+    """
+    algorithm = _validate(algorithm, params)
+    if restart_model not in RESTART_MODELS:
+        raise ConfigurationError(
+            f"unknown restart_model {restart_model!r}; "
+            f"known: {', '.join(RESTART_MODELS)}")
+    n = float(params.n_segments)
+    n_flush = durations.segments_flushed
+    n_txns = params.lam * durations.interval
+    uses_lsns = (algorithm in ("FUZZYCOPY",) + _TWO_COLOR + _ACTION_CONSISTENT
+                 and not params.stable_log_tail)
+    lsn_per_flush = params.c_lsn if uses_lsns else 0.0
+    buffered_flush = (2 * params.c_alloc + params.s_seg
+                      + params.c_io + lsn_per_flush)
+
+    async_costs: Dict[str, float] = {}
+    sync_costs: Dict[str, float] = {}
+
+    # -- sweep costs over every segment -----------------------------------
+    if scope is CheckpointScope.PARTIAL:
+        async_costs["dirty_checks"] = n * params.c_dirty_check
+    if algorithm in _TWO_COLOR + _COU:
+        async_costs["sweep_locks"] = n * 2 * params.c_lock
+    if algorithm in _ACTION_CONSISTENT:
+        # AC locks only the segments it actually captures (no paint
+        # bookkeeping forces a lock on clean ones).
+        async_costs["sweep_locks"] = n_flush * 2 * params.c_lock
+
+    # -- flush costs ---------------------------------------------------------
+    abort_prob = 0.0
+    reruns = 0.0
+    cou_copies = 0.0
+    if algorithm == "FUZZYCOPY":
+        async_costs["flushes"] = n_flush * buffered_flush
+    elif algorithm == "FASTFUZZY":
+        async_costs["flushes"] = n_flush * params.c_io
+    elif algorithm == "ACFLUSH":
+        async_costs["flushes"] = n_flush * (params.c_io + lsn_per_flush)
+    elif algorithm == "ACCOPY":
+        async_costs["flushes"] = n_flush * buffered_flush
+    elif algorithm in _TWO_COLOR:
+        if algorithm == "2CFLUSH":
+            async_costs["flushes"] = n_flush * (params.c_io + lsn_per_flush)
+        else:
+            async_costs["flushes"] = n_flush * buffered_flush
+        abort_prob = abort_probability(durations.active_fraction, params.n_ru)
+        if restart_model == "heterogeneous":
+            reruns = expected_reruns_heterogeneous(
+                durations.active_fraction, params.n_ru)
+        else:
+            reruns = expected_reruns(abort_prob)
+        sync_costs["reruns"] = reruns * params.c_trans
+    else:  # copy-on-update family
+        q_copy = copy_fraction(params, durations.active)
+        cou_copies = n * q_copy
+        stale_fraction = n_flush / n if n else 0.0
+        flush_old = n_flush * q_copy
+        flush_live = n_flush * (1.0 - q_copy)
+        wasted = n * q_copy * (1.0 - stale_fraction)
+        sync_costs["cou_copies"] = (
+            cou_copies * (params.c_alloc + params.s_seg) / n_txns
+            if n_txns else 0.0)
+        async_costs["old_copy_flushes"] = flush_old * (params.c_io
+                                                       + params.c_alloc)
+        async_costs["wasted_copies"] = wasted * params.c_alloc
+        if algorithm == "COUFLUSH":
+            live_cost = 2 * params.c_lock + params.c_io
+        else:
+            live_cost = (2 * params.c_lock + 2 * params.c_alloc
+                         + params.s_seg + params.c_io)
+        async_costs["live_flushes"] = flush_live * live_cost
+        if not params.stable_log_tail:
+            async_costs["begin_log_flush"] = params.c_io
+
+    # -- bookkeeping common to all -----------------------------------------
+    if not params.stable_log_tail:
+        # With a stable tail there is never a pending tail to force out at
+        # checkpoint end (appends are durable instantly).
+        async_costs["end_log_flush"] = params.c_io
+
+    # -- synchronous per-transaction costs ------------------------------------
+    if uses_lsns:
+        sync_costs["lsn_maintenance"] = params.n_ru * params.c_lsn
+
+    return OverheadModel(
+        algorithm=algorithm,
+        sync_per_txn=sync_costs,
+        async_per_checkpoint=async_costs,
+        transactions_per_interval=n_txns,
+        abort_probability=abort_prob,
+        reruns_per_txn=reruns,
+        cou_copies_per_checkpoint=cou_copies,
+    )

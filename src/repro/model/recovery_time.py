@@ -1,0 +1,87 @@
+"""Recovery time model (paper Sections 3.3, 4).
+
+"We take the recovery time to be the time necessary to read the backup
+database copy into main memory, plus the time to read the appropriate
+portion of the log."
+
+* **Backup read**: the whole database once through the array, using the
+  same per-segment seek+transfer model as checkpoint writes.
+* **Log read**: the log accumulated since the begin marker of the last
+  *completed* checkpoint.  With checkpoints of interval ``T`` the failure
+  lands, on average, halfway through the checkpoint after the completed
+  one, so the replayed span averages ``1.5 T`` (a model option; use 2.0
+  for the worst case).  The log volume is the committed transactions'
+  REDO+commit records, inflated for the two-color algorithms by the log
+  bulk of aborted attempts ("the added log bulk of transactions aborted
+  by the two-color constraints") -- each rerun contributes
+  ``log_bulk_restart_fraction`` of a transaction's update records plus an
+  abort record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..params import SystemParameters
+from ..storage.array import DiskArray
+from .duration import DurationModel
+
+
+@dataclass(frozen=True)
+class RecoveryTimeModel:
+    """Modelled recovery time and its components."""
+
+    backup_read_time: float
+    log_read_time: float
+    log_words: float
+    log_span: float
+    log_words_per_txn: float
+
+    @property
+    def total(self) -> float:
+        return self.backup_read_time + self.log_read_time
+
+
+def log_words_per_transaction(params: SystemParameters,
+                              reruns_per_txn: float = 0.0) -> float:
+    """Expected stable-log words per arriving transaction.
+
+    The committed attempt always contributes ``log_words_per_txn``; each
+    rerun means one aborted attempt whose REDO records (scaled by
+    ``log_bulk_restart_fraction``) and abort record also hit the log.
+    """
+    if reruns_per_txn < 0:
+        raise ConfigurationError(
+            f"reruns_per_txn must be >= 0, got {reruns_per_txn!r}")
+    base = params.log_words_per_txn
+    per_abort = (params.log_bulk_restart_fraction
+                 * params.n_ru * (params.s_rec + params.s_log_header)
+                 + params.s_log_commit)
+    return base + reruns_per_txn * per_abort
+
+
+def compute_recovery_time(
+    params: SystemParameters,
+    durations: DurationModel,
+    reruns_per_txn: float = 0.0,
+    *,
+    log_span_intervals: float = 1.5,
+) -> RecoveryTimeModel:
+    """Assemble the recovery-time model for one configuration."""
+    if log_span_intervals < 0:
+        raise ConfigurationError(
+            f"log_span_intervals must be >= 0, got {log_span_intervals!r}")
+    array = DiskArray(params)
+    backup_read = array.series_time(params.n_segments, params.s_seg)
+    span = log_span_intervals * durations.interval
+    words_per_txn = log_words_per_transaction(params, reruns_per_txn)
+    words = params.lam * span * words_per_txn
+    log_read = array.sequential_read_time(int(words), params.s_seg)
+    return RecoveryTimeModel(
+        backup_read_time=backup_read,
+        log_read_time=log_read,
+        log_words=words,
+        log_span=span,
+        log_words_per_txn=words_per_txn,
+    )

@@ -1,0 +1,119 @@
+"""The two-color restart model (paper Sections 3.2.1, 4).
+
+While a two-color checkpoint is active, the painted (black) fraction of
+the database sweeps from 0 to 1.  A transaction updating ``k`` records in
+``k`` distinct segments (with thousands of segments, distinctness is the
+overwhelming case) is aborted iff its access set straddles the boundary:
+
+    P(conflict | black fraction f) = 1 - f^k - (1-f)^k
+
+Updates are uniform, so segments host dirty work uniformly and the sweep
+spends its active time uniformly over f, giving the sweep average
+
+    mean conflict = integral_0^1 (1 - f^k - (1-f)^k) df = 1 - 2/(k+1).
+
+A transaction arriving at a random instant meets an active checkpoint
+with probability equal to the *active fraction* of the cycle, so the
+per-attempt abort probability is their product.  Reruns retry after a
+backoff against a fresh boundary position; with independent retries the
+rerun count is geometric:
+
+    E[reruns] = p / (1 - p).
+
+Figure 4a's headline number follows immediately: at minimum duration the
+checkpointer is always active, and with N_ru = 5 the sweep average is
+1 - 2/6 = 2/3, so every transaction is rerun twice on average -- "most of
+the cost comes from rerunning transactions".
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+#: Cap on expected reruns, guarding the geometric formula as p -> 1.
+_MAX_EXPECTED_RERUNS = 1e6
+
+
+def conflict_probability(black_fraction: float, n_segments_touched: int) -> float:
+    """P(a transaction touches both colors | black fraction)."""
+    if not 0.0 <= black_fraction <= 1.0:
+        raise ConfigurationError(
+            f"black_fraction must be in [0, 1], got {black_fraction!r}")
+    if n_segments_touched < 1:
+        raise ConfigurationError(
+            f"n_segments_touched must be >= 1, got {n_segments_touched!r}")
+    f = black_fraction
+    k = n_segments_touched
+    return 1.0 - f**k - (1.0 - f) ** k
+
+
+def sweep_average_conflict(n_segments_touched: int) -> float:
+    """Conflict probability averaged over a full boundary sweep."""
+    if n_segments_touched < 1:
+        raise ConfigurationError(
+            f"n_segments_touched must be >= 1, got {n_segments_touched!r}")
+    return 1.0 - 2.0 / (n_segments_touched + 1)
+
+
+def abort_probability(active_fraction: float, n_segments_touched: int) -> float:
+    """Per-attempt abort probability under the two-color rule."""
+    if not 0.0 <= active_fraction <= 1.0:
+        raise ConfigurationError(
+            f"active_fraction must be in [0, 1], got {active_fraction!r}")
+    return active_fraction * sweep_average_conflict(n_segments_touched)
+
+
+def expected_reruns(abort_prob: float) -> float:
+    """Expected rerun count with geometric (independent) retries."""
+    if not 0.0 <= abort_prob <= 1.0:
+        raise ConfigurationError(
+            f"abort_prob must be in [0, 1], got {abort_prob!r}")
+    if abort_prob >= 1.0:
+        return _MAX_EXPECTED_RERUNS
+    return min(_MAX_EXPECTED_RERUNS, abort_prob / (1.0 - abort_prob))
+
+
+def expected_reruns_heterogeneous(active_fraction: float,
+                                  n_segments_touched: int,
+                                  grid_points: int = 20000) -> float:
+    """Expected reruns accounting for per-transaction span heterogeneity.
+
+    The geometric formula treats every transaction as having the *mean*
+    conflict probability.  In reality a transaction's segments span a
+    fixed fraction ``phi`` of the database for its whole lifetime, and a
+    retry conflicts with probability ``active_fraction * phi`` -- so
+    wide-span transactions retry many more times than the mean suggests
+    (Jensen's inequality: ``E[p/(1-p)] >= E[p]/(1-E[p])``).
+
+    For ``k`` uniform records the span ``phi = f_max - f_min`` follows a
+    Beta(k-1, 2) law, giving::
+
+        E[reruns] = integral_0^1 k(k-1) phi^(k-2) (1-phi)
+                      * (rho*phi) / (1 - rho*phi) dphi
+
+    At full saturation (rho = 1) this evaluates exactly to ``k - 1`` --
+    double the geometric estimate for k = 5.  The discrete-event testbed
+    measures this effect directly (see repro.experiments.validation); the
+    paper's own model corresponds to the geometric variant, which remains
+    the default for the figure reproductions.
+    """
+    if not 0.0 <= active_fraction <= 1.0:
+        raise ConfigurationError(
+            f"active_fraction must be in [0, 1], got {active_fraction!r}")
+    k = n_segments_touched
+    if k < 1:
+        raise ConfigurationError(
+            f"n_segments_touched must be >= 1, got {k!r}")
+    if k == 1 or active_fraction == 0.0:
+        return 0.0
+    rho = active_fraction
+    total = 0.0
+    step = 1.0 / grid_points
+    for i in range(grid_points):
+        phi = (i + 0.5) * step
+        density = k * (k - 1) * phi ** (k - 2) * (1.0 - phi)
+        p = rho * phi
+        if p >= 1.0:
+            return _MAX_EXPECTED_RERUNS
+        total += density * (p / (1.0 - p)) * step
+    return min(_MAX_EXPECTED_RERUNS, total)

@@ -1,0 +1,110 @@
+"""REDO log replay semantics, shared by recovery and the test oracle.
+
+Replay walks the log in LSN order with attempt-buffer semantics:
+
+* an :class:`UpdateRecord` is *buffered* under its transaction id;
+* a :class:`CommitRecord` applies the transaction's buffered updates;
+* an :class:`AbortRecord` discards them (a two-color abort may be
+  followed by a successful rerun of the same transaction id, whose later
+  update records must still be applied -- which is why outcome *sets*
+  are not enough and the buffer is);
+* updates still buffered when the log ends belong to transactions whose
+  commit never reached stable storage: they are dropped, exactly as the
+  shadow-copy/REDO-only design intends.
+
+:class:`RedoApplier` supports incremental feeding so the simulator's
+committed-state oracle can consume records as they become stable, while
+:func:`replay_records` wraps it for the one-shot recovery path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..wal.records import (
+    AbortRecord,
+    CommitRecord,
+    LogicalUpdateRecord,
+    LogRecord,
+    UpdateRecord,
+)
+
+ApplyUpdate = Callable[[int, int], None]
+ApplyDelta = Callable[[int, int], None]
+
+
+@dataclass
+class ReplayCounts:
+    """Statistics of one replay."""
+
+    records_scanned: int = 0
+    transactions_committed: int = 0
+    attempts_aborted: int = 0
+    updates_applied: int = 0
+    updates_dropped: int = 0
+    pending_at_end: int = field(default=0)
+
+
+class RedoApplier:
+    """Incremental REDO replay with per-transaction attempt buffers.
+
+    Handles both value records (absolute after-images, idempotent) and
+    logical records (deltas, applied through ``apply_delta``).  A missing
+    ``apply_delta`` raises on the first logical record -- a recovery path
+    that cannot interpret transition records must fail loudly rather than
+    skip them.
+    """
+
+    def __init__(self, apply_update: ApplyUpdate,
+                 apply_delta: Optional[ApplyDelta] = None) -> None:
+        self._apply = apply_update
+        self._apply_delta = apply_delta
+        # buffered entries: ("value", rid, value) or ("delta", rid, delta)
+        self._pending: Dict[int, List[Tuple[str, int, int]]] = {}
+        self.counts = ReplayCounts()
+
+    def feed(self, records: Iterable[LogRecord]) -> None:
+        """Consume records (must arrive in LSN order across feeds)."""
+        for record in records:
+            self.counts.records_scanned += 1
+            if isinstance(record, UpdateRecord):
+                self._pending.setdefault(record.txn_id, []).append(
+                    ("value", record.record_id, record.value))
+            elif isinstance(record, LogicalUpdateRecord):
+                self._pending.setdefault(record.txn_id, []).append(
+                    ("delta", record.record_id, record.delta))
+            elif isinstance(record, CommitRecord):
+                updates = self._pending.pop(record.txn_id, [])
+                for kind, record_id, operand in updates:
+                    if kind == "value":
+                        self._apply(record_id, operand)
+                    else:
+                        if self._apply_delta is None:
+                            raise TypeError(
+                                "log contains logical records but this "
+                                "replay has no apply_delta handler")
+                        self._apply_delta(record_id, operand)
+                self.counts.updates_applied += len(updates)
+                self.counts.transactions_committed += 1
+            elif isinstance(record, AbortRecord):
+                dropped = self._pending.pop(record.txn_id, [])
+                self.counts.updates_dropped += len(dropped)
+                self.counts.attempts_aborted += 1
+            # checkpoint markers carry no data to replay
+
+    def finish(self) -> ReplayCounts:
+        """Account for updates whose commit never became stable."""
+        leftover = sum(len(v) for v in self._pending.values())
+        self.counts.updates_dropped += leftover
+        self.counts.pending_at_end = leftover
+        return self.counts
+
+
+def replay_records(records: Iterable[LogRecord],
+                   apply_update: ApplyUpdate,
+                   apply_delta: Optional[ApplyDelta] = None) -> ReplayCounts:
+    """One-shot replay of ``records`` (in LSN order) through ``apply_update``."""
+    applier = RedoApplier(apply_update, apply_delta)
+    applier.feed(records)
+    return applier.finish()

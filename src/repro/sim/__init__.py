@@ -1,0 +1,25 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free event engine: a priority queue of timestamped
+events, a monotonically advancing clock, and seeded random-number streams.
+The MMDBMS testbed (``repro.simulate``) is built on top of it; the engine
+itself knows nothing about databases.
+"""
+
+from .clock import Clock
+from .cpu_server import CpuServer
+from .engine import Event, EventEngine
+from .rng import RandomStreams
+from .timestamps import TimestampAuthority
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "Clock",
+    "CpuServer",
+    "Event",
+    "EventEngine",
+    "RandomStreams",
+    "TimestampAuthority",
+    "TraceEvent",
+    "Tracer",
+]

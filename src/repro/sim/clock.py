@@ -1,0 +1,39 @@
+"""Simulation clock.
+
+Simulated time is a float number of seconds, starting at zero.  The clock
+only moves forward; the event engine is the sole component allowed to
+advance it, which keeps causality violations impossible by construction.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidStateError
+
+
+class Clock:
+    """Monotonic simulated-time clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise InvalidStateError(f"clock cannot start before zero ({start!r})")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises:
+            InvalidStateError: if ``timestamp`` is in the past.
+        """
+        if timestamp < self._now:
+            raise InvalidStateError(
+                f"time cannot move backwards ({timestamp!r} < {self._now!r})"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.6f})"

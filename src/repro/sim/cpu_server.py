@@ -1,0 +1,84 @@
+"""A finite-speed CPU as a FIFO server.
+
+The paper measures checkpointing in instructions because "processors are
+critical resources"; by default the testbed treats the CPU as infinitely
+fast (transactions execute within one simulated instant) and reports
+instruction *counts*.  :class:`CpuServer` optionally makes the processor
+finite: work items queue FIFO and take ``instructions / (MIPS·10⁶)``
+seconds of simulated time, so response times grow with utilisation and a
+load beyond capacity visibly backlogs -- the empirical counterpart of
+:mod:`repro.model.utilization`.
+
+The simulator routes *transaction* executions (including two-color
+reruns) through the server; the checkpointer's own CPU work is charged to
+the instruction ledger but not serialised here (its per-segment work is
+small against segment I/O times, and the paper's asynchronous-cost
+treatment assumes it overlaps).  The limitation is documented where the
+mode is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from .engine import EventEngine
+
+
+class CpuServer:
+    """Single FIFO processor serving instruction batches."""
+
+    def __init__(self, engine: EventEngine, mips: float) -> None:
+        if mips <= 0:
+            raise ConfigurationError(f"mips must be positive, got {mips!r}")
+        self.engine = engine
+        self.mips = mips
+        self._free_at = 0.0
+        self.busy_time = 0.0
+        self.jobs_served = 0
+        self.instructions_served = 0.0
+
+    def service_time(self, instructions: float) -> float:
+        """Seconds of CPU this many instructions take."""
+        if instructions < 0:
+            raise ConfigurationError(
+                f"instructions must be >= 0, got {instructions!r}")
+        return instructions / (self.mips * 1e6)
+
+    def submit(self, instructions: float,
+               callback: Callable[[], None]) -> float:
+        """Queue a job; ``callback`` runs when its service completes.
+
+        Returns the completion time.  FIFO: service starts when the
+        processor frees up.
+        """
+        now = self.engine.now
+        start = max(now, self._free_at)
+        service = self.service_time(instructions)
+        completion = start + service
+        self._free_at = completion
+        self.busy_time += service
+        self.jobs_served += 1
+        self.instructions_served += instructions
+        self.engine.schedule_at(completion, callback, label="cpu job")
+        return completion
+
+    @property
+    def backlog_seconds(self) -> float:
+        """Queued work ahead of a job submitted right now."""
+        return max(0.0, self._free_at - self.engine.now)
+
+    def utilisation(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def crash(self) -> None:
+        """Volatile queue state dies with the machine."""
+        self._free_at = self.engine.now
+
+    def reset_stats(self) -> None:
+        """Zero the counters (measurement windows); the queue is kept."""
+        self.busy_time = 0.0
+        self.jobs_served = 0
+        self.instructions_served = 0.0

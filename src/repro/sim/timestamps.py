@@ -1,0 +1,30 @@
+"""Logical timestamps for transactions and checkpoints.
+
+The copy-on-update algorithms compare transaction timestamps tau(T),
+segment timestamps tau(S), and checkpoint timestamps tau(CH) (Figures 3.2
+and 3.3).  Wall-clock simulated time would allow ties (several events can
+share an instant in a discrete-event simulation), and the COU conditions
+``tau(S) <= tau(CH)`` / ``tau(CUR_SEG) < tau(CH)`` are partition tests
+that break under ties.  A strictly monotonic counter removes the problem:
+every transaction attempt and every checkpoint begin draws a fresh,
+strictly larger timestamp.
+"""
+
+from __future__ import annotations
+
+
+class TimestampAuthority:
+    """A strictly monotonic logical-timestamp source."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._last = int(start)
+
+    def next(self) -> int:
+        """Return a timestamp strictly greater than all previous ones."""
+        self._last += 1
+        return self._last
+
+    @property
+    def last(self) -> int:
+        """The most recently issued timestamp (``start`` if none yet)."""
+        return self._last

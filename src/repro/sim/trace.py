@@ -1,0 +1,83 @@
+"""Structured event tracing for simulation runs.
+
+A :class:`Tracer` collects timestamped, typed events into a bounded ring
+buffer.  The simulated system emits lifecycle events (arrivals, commits,
+aborts, checkpoint begin/end, crash, recovery) when tracing is enabled;
+tests and debugging sessions query the trace instead of groveling through
+print output.  Disabled tracers cost one predicate check per event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError as exc:
+            raise AttributeError(name) from exc
+
+
+class Tracer:
+    """A bounded, queryable event log."""
+
+    def __init__(self, capacity: int = 100_000, enabled: bool = True) -> None:
+        self.capacity = capacity
+        self.enabled = enabled
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.recorded = 0
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        """Append one event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(time=time, kind=kind, fields=fields))
+        self.recorded += 1
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self._events if event.kind == kind]
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        return [event for event in self._events
+                if start <= event.time <= end]
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceEvent]:
+        if kind is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def kinds(self) -> Dict[str, int]:
+        """Event counts per kind."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+        self.recorded = 0

@@ -1,0 +1,25 @@
+"""The MMDBMS testbed: full-system simulation with crash injection.
+
+This package wires every substrate together -- database, log, locks,
+disks, ping-pong backups, transaction manager, a checkpointer, and the
+event engine -- into :class:`SimulatedSystem`.  A run executes a
+transaction workload while the checkpointer maintains the backup; a crash
+can be injected at any instant, after which recovery rebuilds the primary
+database and the result is checked against an independent
+committed-state oracle.
+
+The paper closes by announcing exactly such a testbed ("we are currently
+implementing a testbed with which we will be able to experimentally
+evaluate the algorithms presented here"); here it serves to validate the
+analytic model and to prove each algorithm's recovery correctness.
+"""
+
+from .oracle import CommittedStateOracle
+from .system import SimulatedSystem, SimulationConfig, SimulationMetrics
+
+__all__ = [
+    "CommittedStateOracle",
+    "SimulatedSystem",
+    "SimulationConfig",
+    "SimulationMetrics",
+]

@@ -1,0 +1,137 @@
+"""Archival dumps of the backup database (paper Section 2.7).
+
+"Dumping of the backup database (e.g., to tape) may also be easier
+[in a MMDBMS] because of the more predictable disk access patterns" --
+the backup images are written by a single sequential sweep, so a dump
+can stream a *completed* image to tape without disturbing transaction
+processing at all (it reads the backup disks, which transactions never
+touch).
+
+:class:`TapeDevice` models the archive medium as mount time plus a
+sequential transfer rate.  :class:`ArchiveManager` snapshots completed
+images to tape and can restore them -- the repair path when a backup
+image is lost to a media failure while its sibling is also suspect, or
+when an old state must be resurrected.
+
+Restoring an archived image rebuilds the *image*; bringing the database
+itself up to date still goes through normal recovery (image + log).  A
+restore can therefore only help recovery if the log still reaches back
+to the archived checkpoint's begin marker; the simulator's
+``truncate_log=False`` mode retains the full log for exactly this use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, InvalidStateError, RecoveryError
+from ..params import SystemParameters
+from .backup import BackupImage
+
+
+class TapeDevice:
+    """A sequential archive medium."""
+
+    def __init__(self, mount_time: float = 30.0,
+                 words_per_second: float = 250_000.0) -> None:
+        if mount_time < 0 or words_per_second <= 0:
+            raise ConfigurationError(
+                f"invalid tape parameters (mount_time={mount_time!r}, "
+                f"words_per_second={words_per_second!r})")
+        self.mount_time = mount_time
+        self.words_per_second = words_per_second
+        self.words_written = 0
+        self.dumps = 0
+
+    def transfer_time(self, words: int) -> float:
+        """Seconds to stream ``words`` words, including the mount."""
+        if words < 0:
+            raise ConfigurationError(f"words must be >= 0, got {words!r}")
+        return self.mount_time + words / self.words_per_second
+
+
+@dataclass(frozen=True)
+class ArchivedCheckpoint:
+    """One dump held on tape."""
+
+    checkpoint_id: int
+    image_index: int
+    begin_timestamp: float
+    values: np.ndarray
+    segment_flush_time: np.ndarray
+    dump_duration: float
+
+
+class ArchiveManager:
+    """Dumps completed backup images to tape and restores them."""
+
+    def __init__(self, params: SystemParameters,
+                 tape: Optional[TapeDevice] = None) -> None:
+        self.params = params
+        self.tape = tape if tape is not None else TapeDevice()
+        self._dumps: Dict[int, ArchivedCheckpoint] = {}
+
+    # ------------------------------------------------------------------
+    def dump(self, image: BackupImage) -> ArchivedCheckpoint:
+        """Stream a completed image to tape; returns the dump record."""
+        if image.completed_checkpoint_id is None:
+            raise InvalidStateError(
+                f"image {image.index} holds no completed checkpoint to dump")
+        if image.active_checkpoint_id is not None:
+            raise InvalidStateError(
+                f"image {image.index} is being rewritten by checkpoint "
+                f"{image.active_checkpoint_id}; dump the sibling instead")
+        words = int(self.params.s_db)
+        duration = self.tape.transfer_time(words)
+        archived = ArchivedCheckpoint(
+            checkpoint_id=image.completed_checkpoint_id,
+            image_index=image.index,
+            begin_timestamp=image.completed_checkpoint_begin,
+            values=image.values.copy(),
+            segment_flush_time=image.segment_flush_time.copy(),
+            dump_duration=duration,
+        )
+        self._dumps[archived.checkpoint_id] = archived
+        self.tape.words_written += words
+        self.tape.dumps += 1
+        return archived
+
+    # ------------------------------------------------------------------
+    @property
+    def archived_checkpoint_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._dumps))
+
+    def latest(self) -> Optional[ArchivedCheckpoint]:
+        if not self._dumps:
+            return None
+        return self._dumps[max(self._dumps)]
+
+    def get(self, checkpoint_id: int) -> ArchivedCheckpoint:
+        if checkpoint_id not in self._dumps:
+            raise RecoveryError(
+                f"checkpoint {checkpoint_id} is not on the archive tape")
+        return self._dumps[checkpoint_id]
+
+    # ------------------------------------------------------------------
+    def restore(self, archived: ArchivedCheckpoint,
+                image: BackupImage) -> float:
+        """Rebuild ``image`` from tape; returns the transfer time.
+
+        The restored image again holds ``archived.checkpoint_id`` as its
+        completed checkpoint, so the normal recovery path (image + log
+        from that checkpoint's begin marker) works -- provided the log
+        has not been truncated past it.
+        """
+        if image.active_checkpoint_id is not None:
+            raise InvalidStateError(
+                f"image {image.index} is being written; stop the "
+                "checkpointer before restoring over it")
+        image.values[:] = archived.values
+        image.segment_flush_time[:] = archived.segment_flush_time
+        image.segment_present[:] = True
+        image.completed_checkpoint_id = archived.checkpoint_id
+        image.completed_checkpoint_begin = archived.begin_timestamp
+        return self.tape.transfer_time(int(self.params.s_db))

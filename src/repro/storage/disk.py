@@ -1,0 +1,62 @@
+"""A single disk, modelled as a simple server (paper Section 2.2).
+
+A request transferring ``d`` words occupies the disk for
+``T_seek + T_trans * d`` seconds.  The disk keeps a "free at" horizon so
+queued requests serialize; utilisation statistics feed the experiment
+reports.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class Disk:
+    """One backup/log disk with seek-plus-transfer service times."""
+
+    def __init__(self, t_seek: float, t_trans: float, name: str = "disk") -> None:
+        if t_seek < 0 or t_trans <= 0:
+            raise ConfigurationError(
+                f"invalid disk timing (t_seek={t_seek!r}, t_trans={t_trans!r})"
+            )
+        self.t_seek = t_seek
+        self.t_trans = t_trans
+        self.name = name
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.requests = 0
+        self.words_transferred = 0
+
+    def service_time(self, words: int) -> float:
+        """Seconds to serve one request of ``words`` words."""
+        if words < 0:
+            raise ConfigurationError(f"words must be >= 0, got {words!r}")
+        return self.t_seek + self.t_trans * words
+
+    def submit(self, now: float, words: int) -> float:
+        """Enqueue a request at time ``now``; returns its completion time.
+
+        Requests serialize: service starts at ``max(now, free_at)``.
+        """
+        start = max(now, self.free_at)
+        service = self.service_time(words)
+        self.free_at = start + service
+        self.busy_time += service
+        self.requests += 1
+        self.words_transferred += words
+        return self.free_at
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds this disk spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def reset(self) -> None:
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.requests = 0
+        self.words_transferred = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Disk({self.name}, free_at={self.free_at:.4f})"

@@ -1,0 +1,410 @@
+"""The transaction manager.
+
+Coordinates transaction execution against the primary database, the log,
+the lock manager, and the *active checkpointer*.  The checkpointer plugs
+in through the small :class:`CheckpointCoordinator` protocol:
+
+* :meth:`~CheckpointCoordinator.guard_access` -- consulted for every
+  record access; the two-color algorithms raise
+  :class:`~repro.errors.TwoColorViolation` here when a transaction mixes
+  white and black data, which the manager turns into an abort + rerun;
+* :meth:`~CheckpointCoordinator.before_install` -- consulted before a
+  committed update overwrites a segment; the copy-on-update algorithms
+  save the pre-update segment copy here (Figure 3.2);
+* :attr:`~CheckpointCoordinator.uses_lsns` -- when true, every install
+  additionally maintains the segment's log sequence number at ``C_lsn``
+  instructions (synchronous checkpoint overhead, Section 2.1).
+
+Commit protocol (shadow copy + REDO-only, Section 2.6): updates stay in
+the transaction's shadow buffer while it runs; at commit the manager
+appends the REDO records and the commit record to the log *first*, then
+installs the new values by overwriting, stamping each touched segment
+with the commit LSN and the transaction timestamp.  Stamping the *commit*
+LSN (not the individual update LSNs) guarantees that whenever a
+checkpointer finds a segment's LSN stable, the commit records of every
+transaction reflected in the segment are stable too -- so a recovered
+backup never exposes uncommitted data.
+
+Aborted attempts append their REDO records plus an abort record
+(scaled by ``log_bulk_restart_fraction``), reproducing the paper's
+"added log bulk of transactions aborted by the two-color constraints".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+import numpy as np
+
+from ..cpu.accounting import CostCategory, CostLedger
+from ..errors import TransactionAborted
+from ..mmdb.database import Database
+from ..mmdb.locks import LockManager, LockMode
+from ..mmdb.segment import Segment
+from ..sim.cpu_server import CpuServer
+from ..sim.engine import EventEngine
+from ..sim.timestamps import TimestampAuthority
+from ..wal.log import LogManager
+from .transaction import Transaction, TransactionState
+
+
+class CheckpointCoordinator(Protocol):
+    """What the transaction manager needs from the active checkpointer."""
+
+    uses_lsns: bool
+
+    def guard_access(self, txn: Transaction, segment: Segment) -> None:
+        """Raise :class:`TransactionAborted` to kill the transaction."""
+
+    def before_install(self, txn: Transaction, segment: Segment) -> None:
+        """Called before a committed update overwrites ``segment``."""
+
+
+class _NullCoordinator:
+    """Default coordinator: no checkpoint-induced behaviour at all."""
+
+    uses_lsns = False
+
+    def guard_access(self, txn: Transaction, segment: Segment) -> None:
+        return None
+
+    def before_install(self, txn: Transaction, segment: Segment) -> None:
+        return None
+
+
+@dataclass
+class TransactionStats:
+    """Counters the simulator reports per run."""
+
+    submitted: int = 0
+    committed: int = 0
+    aborts: Dict[str, int] = field(default_factory=dict)
+    reruns: int = 0
+    failed: int = 0
+    lock_waits: int = 0
+    quiesce_delays: int = 0
+    total_response_time: float = 0.0
+    #: per-commit response times (arrival to commit), for percentiles
+    response_times: List[float] = field(default_factory=list)
+
+    def record_abort(self, reason: str) -> None:
+        self.aborts[reason] = self.aborts.get(reason, 0) + 1
+
+    def record_commit(self, response_time: float) -> None:
+        self.committed += 1
+        self.total_response_time += response_time
+        self.response_times.append(response_time)
+
+    @property
+    def total_aborts(self) -> int:
+        return sum(self.aborts.values())
+
+    @property
+    def mean_response_time(self) -> float:
+        if self.committed == 0:
+            return 0.0
+        return self.total_response_time / self.committed
+
+    def response_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of commit response times (seconds)."""
+        if not self.response_times:
+            return 0.0
+        ordered = sorted(self.response_times)
+        position = (len(ordered) - 1) * q / 100
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        weight = position - low
+        return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+class TransactionManager:
+    """Runs transactions to commit against the shared substrate."""
+
+    def __init__(
+        self,
+        database: Database,
+        log: LogManager,
+        locks: LockManager,
+        ledger: CostLedger,
+        engine: EventEngine,
+        authority: Optional[TimestampAuthority] = None,
+        *,
+        restart_backoff: float = 0.05,
+        max_attempts: int = 1000,
+        backoff_rng: Optional[np.random.Generator] = None,
+        logical_updates: bool = False,
+        flush_on_commit: bool = False,
+        cpu_server: Optional[CpuServer] = None,
+    ) -> None:
+        self.database = database
+        self.log = log
+        self.locks = locks
+        self.ledger = ledger
+        self.engine = engine
+        self.authority = authority if authority is not None else TimestampAuthority()
+        self.restart_backoff = restart_backoff
+        self.max_attempts = max_attempts
+        self.backoff_rng = backoff_rng
+        #: logical (transition) logging: transactions apply increments and
+        #: log deltas instead of after-images.  Sound recovery then
+        #: requires a snapshot-exact backup; see tests/test_logical_logging.
+        self.logical_updates = logical_updates
+        #: force the log tail after every commit (durable-on-commit) --
+        #: the alternative to group commit, at one log I/O per transaction
+        self.flush_on_commit = flush_on_commit
+        #: optional finite-speed processor: each attempt's ``C_trans``
+        #: instructions are served FIFO before its logic runs, so response
+        #: times grow with CPU utilisation (None = infinitely fast CPU)
+        self.cpu_server = cpu_server
+        self.coordinator: CheckpointCoordinator = _NullCoordinator()
+        self.stats = TransactionStats()
+        #: optional observers (the simulator wires these to its tracer)
+        self.on_commit: Optional[Callable[[Transaction], None]] = None
+        self.on_abort: Optional[Callable[[Transaction, str], None]] = None
+        self._quiesced = False
+        self._quiesce_queue: List[Transaction] = []
+        #: quiesced attempts that had already finished their CPU service
+        self._quiesce_queue_served: List[Transaction] = []
+        self._committed_log: List[Transaction] = []
+        #: transactions waiting on a lock (the "active" set for markers)
+        self._waiting: Dict[int, Transaction] = {}
+
+    # -- checkpointer wiring -------------------------------------------------
+    def set_coordinator(self, coordinator: Optional[CheckpointCoordinator]) -> None:
+        self.coordinator = coordinator if coordinator is not None else _NullCoordinator()
+
+    def active_transaction_ids(self) -> List[int]:
+        """Transactions mid-flight (waiting on locks or quiesced).
+
+        Written into begin-checkpoint markers (Section 3.1); FUZZYCOPY
+        recovery scans back to the oldest of these.
+        """
+        ids = sorted(self._waiting)
+        ids.extend(txn.txn_id for txn in self._quiesce_queue)
+        return sorted(set(ids))
+
+    # -- quiescing (copy-on-update begin, Section 3.2.2) ------------------------
+    def quiesce(self) -> None:
+        """Stop admitting new transactions (COU checkpoint begin)."""
+        self._quiesced = True
+
+    def resume(self) -> None:
+        """Re-admit transactions; queued arrivals run immediately."""
+        self._quiesced = False
+        served, self._quiesce_queue_served = self._quiesce_queue_served, []
+        queued, self._quiesce_queue = self._quiesce_queue, []
+        for txn in served:
+            self.submit_after_cpu(txn)  # CPU already consumed
+        for txn in queued:
+            self.submit(txn)
+
+    @property
+    def is_quiescent(self) -> bool:
+        """True when no transaction holds any update in flight.
+
+        Transactions execute atomically in simulated time, so the system
+        is quiescent whenever this manager is between submissions.
+        """
+        return True
+
+    # -- main entry point ---------------------------------------------------------
+    def submit(self, txn: Transaction) -> None:
+        """Run one transaction attempt (or queue it while quiesced).
+
+        With a finite CPU, the attempt's ``C_trans`` instructions are
+        served first; the transaction's logic (guards, locks, commit)
+        executes when its CPU service completes.  Quiescing is re-checked
+        at that point: an attempt whose service straddles a COU
+        checkpoint begin behaves exactly like one that arrived after it.
+        """
+        if self._quiesced:
+            self._quiesce_queue.append(txn)
+            self.stats.quiesce_delays += 1
+            return
+        if self.cpu_server is None:
+            self._execute(txn)
+            return
+        self.cpu_server.submit(self.ledger.costs.c_trans,
+                               lambda: self.submit_after_cpu(txn))
+
+    def submit_after_cpu(self, txn: Transaction) -> None:
+        """Continuation once the attempt's CPU service completes."""
+        if self._quiesced:
+            self._quiesce_queue_served.append(txn)
+            self.stats.quiesce_delays += 1
+            return
+        self._execute(txn)
+
+    def _execute(self, txn: Transaction) -> None:
+        if txn.state is TransactionState.PENDING and txn.attempts == 0:
+            self.stats.submitted += 1
+        txn.begin_attempt(self.authority.next())
+        if txn.is_rerun:
+            self.stats.reruns += 1
+            self.ledger.charge_transaction_run(restart=True)
+        else:
+            self.ledger.charge_transaction_run(restart=False)
+        self._attempt(txn)
+
+    def _attempt(self, txn: Transaction) -> None:
+        """Guard, stage, lock, and commit one attempt."""
+        try:
+            self._guard_and_stage(txn)
+        except TransactionAborted as abort:
+            self._handle_abort(txn, abort)
+            return
+        self._try_commit(txn)
+
+    def _guard_and_stage(self, txn: Transaction) -> None:
+        for record_id in txn.record_ids:
+            segment = self.database.segment_of(record_id)
+            self.coordinator.guard_access(txn, segment)
+            operand = (txn.delta_for(record_id) if self.logical_updates
+                       else txn.value_for(record_id))
+            txn.shadow.stage(record_id, operand)
+
+    # -- locking ----------------------------------------------------------------
+    def _touched_segments(self, txn: Transaction) -> List[int]:
+        return sorted({self.database.segment_index_of(r) for r in txn.record_ids})
+
+    def _try_commit(self, txn: Transaction) -> None:
+        """All-or-nothing lock acquisition, then the commit sequence.
+
+        If any touched segment is held by the checkpointer, every lock
+        acquired so far is dropped and the attempt re-runs when the
+        blocking lock is released.  Dropping all locks before waiting
+        makes deadlock impossible: the checkpointer's lock holds are
+        bounded by I/O time, never by waiting on transactions.
+        """
+        segments = self._touched_segments(txn)
+        acquired: List[int] = []
+        blocker: Optional[int] = None
+        for index in segments:
+            if self.locks.try_acquire(index, txn.txn_id, LockMode.EXCLUSIVE):
+                acquired.append(index)
+            else:
+                blocker = index
+                break
+        if blocker is not None:
+            for index in acquired:
+                self.locks.release(index, txn.txn_id)
+            self._wait_for_lock(txn, blocker)
+            return
+        try:
+            self._commit(txn)
+        finally:
+            for index in segments:
+                self.locks.release(index, txn.txn_id)
+
+    def _wait_for_lock(self, txn: Transaction, segment_index: int) -> None:
+        txn.state = TransactionState.WAITING
+        self._waiting[txn.txn_id] = txn
+        self.stats.lock_waits += 1
+
+        def granted() -> None:
+            # We only queued to learn when the blocker releases; give the
+            # slot back immediately and redo the whole attempt (the paint /
+            # snapshot state may have moved while we waited).
+            self.locks.release(segment_index, txn.txn_id)
+            self._waiting.pop(txn.txn_id, None)
+            txn.restamp(self.authority.next())
+            self._attempt(txn)
+
+        self.locks.acquire_or_wait(segment_index, txn.txn_id,
+                                   LockMode.EXCLUSIVE, granted)
+
+    # -- commit ---------------------------------------------------------------------
+    def _commit(self, txn: Transaction) -> None:
+        now = self.engine.now
+        for record_id, operand in txn.shadow:
+            if self.logical_updates:
+                self.log.append_logical_update(txn.txn_id, record_id, operand)
+            else:
+                self.log.append_update(txn.txn_id, record_id, operand)
+        commit_record = self.log.append_commit(txn.txn_id)
+        txn.commit_lsn = commit_record.lsn
+        for record_id, operand in txn.shadow:
+            segment = self.database.segment_of(record_id)
+            self.coordinator.before_install(txn, segment)
+            value = (self.database.read_record(record_id) + operand
+                     if self.logical_updates else operand)
+            self.database.install_record(
+                record_id, value, timestamp=txn.timestamp, lsn=commit_record.lsn)
+            if self.coordinator.uses_lsns:
+                self.ledger.charge_lsn(synchronous=True)
+        txn.shadow.mark_installed()
+        txn.state = TransactionState.COMMITTED
+        txn.commit_time = now
+        self.stats.record_commit(now - txn.arrival_time)
+        self._committed_log.append(txn)
+        if self.flush_on_commit:
+            result = self.log.flush()
+            if result.records:
+                # Log maintenance, not checkpoint overhead (Section 4).
+                self.ledger.charge(CostCategory.LOGGING,
+                                   self.ledger.costs.c_io, synchronous=True)
+        if self.on_commit is not None:
+            self.on_commit(txn)
+
+    # -- aborts & reruns ---------------------------------------------------------------
+    def _handle_abort(self, txn: Transaction, abort: TransactionAborted) -> None:
+        txn.state = TransactionState.ABORTED
+        self.stats.record_abort(abort.reason)
+        if self.on_abort is not None:
+            self.on_abort(txn, abort.reason)
+        self._log_aborted_attempt(txn)
+        if txn.attempts >= self.max_attempts:
+            txn.state = TransactionState.FAILED
+            self.stats.failed += 1
+            return
+        self.engine.schedule_after(
+            self._rerun_delay(), lambda: self.submit(txn),
+            label=f"rerun txn {txn.txn_id}",
+        )
+
+    def _rerun_delay(self) -> float:
+        """Backoff before a rerun.
+
+        Randomised (exponential with mean ``restart_backoff``) when an
+        RNG is supplied: a memoryless delay decorrelates the retry from
+        the paint boundary's phase, which is the independence assumption
+        behind the paper's geometric restart model.  Deterministic
+        otherwise (useful in unit tests).
+        """
+        if self.backoff_rng is not None:
+            return float(self.backoff_rng.exponential(self.restart_backoff))
+        return self.restart_backoff
+
+    def _log_aborted_attempt(self, txn: Transaction) -> None:
+        """Charge the aborted attempt's log bulk (paper Section 3.3)."""
+        fraction = self.log.params.log_bulk_restart_fraction
+        if fraction <= 0:
+            return
+        n_logged = int(round(fraction * len(txn.shadow)))
+        for record_id, operand in list(txn.shadow)[:n_logged]:
+            if self.logical_updates:
+                self.log.append_logical_update(txn.txn_id, record_id, operand)
+            else:
+                self.log.append_update(txn.txn_id, record_id, operand)
+        self.log.append_abort(txn.txn_id, reason="two-color")
+
+    # -- crash ------------------------------------------------------------------
+    def crash(self) -> None:
+        """A system failure: all in-flight transaction state is volatile.
+
+        Queued (quiesced) and lock-waiting transactions vanish with the
+        machine; the quiesce flag itself was checkpointer state and dies
+        too, so processing can restart cleanly after recovery.
+        """
+        self._quiesced = False
+        self._quiesce_queue.clear()
+        self._quiesce_queue_served.clear()
+        self._waiting.clear()
+        if self.cpu_server is not None:
+            self.cpu_server.crash()
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def committed_transactions(self) -> List[Transaction]:
+        return list(self._committed_log)

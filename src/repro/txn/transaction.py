@@ -1,0 +1,102 @@
+"""Transaction objects.
+
+A transaction is a fixed set of record updates (Section 2.5: all
+transactions are identical in shape -- ``N_ru`` distinct records, chosen
+uniformly).  The object tracks lifecycle state, the begin timestamp
+tau(T) that copy-on-update checkpointing needs, and how many times the
+transaction has been rerun after checkpointer-induced aborts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Set, Tuple
+
+from ..errors import InvalidStateError
+from ..mmdb.shadow import ShadowBuffer
+
+
+class TransactionState(enum.Enum):
+    PENDING = "pending"        # created, not yet executed
+    WAITING = "waiting"        # blocked on a segment lock
+    COMMITTED = "committed"    # installed; durable once its commit LSN is stable
+    ABORTED = "aborted"        # killed (e.g. two-color violation); may rerun
+    FAILED = "failed"          # aborted permanently (rerun limit exceeded)
+
+
+@dataclass
+class Transaction:
+    """One transaction instance (possibly a rerun of an aborted attempt)."""
+
+    txn_id: int
+    record_ids: Tuple[int, ...]
+    arrival_time: float
+    timestamp: int = 0              # tau(T), a logical timestamp
+    state: TransactionState = TransactionState.PENDING
+    attempts: int = 0
+    commit_lsn: int = 0
+    commit_time: float = 0.0
+    shadow: ShadowBuffer = field(default_factory=ShadowBuffer)
+    #: paint colours observed during the current attempt (two-color guard)
+    colors_seen: Set[bool] = field(default_factory=set)
+
+    def begin_attempt(self, timestamp: int) -> None:
+        """Start (or restart) execution: stamp tau(T), reset the shadow."""
+        if self.state in (TransactionState.COMMITTED, TransactionState.FAILED):
+            raise InvalidStateError(
+                f"txn {self.txn_id} cannot run again from state {self.state}"
+            )
+        self.timestamp = timestamp
+        self.attempts += 1
+        self.state = TransactionState.PENDING
+        self.shadow = ShadowBuffer()
+        self.colors_seen = set()
+
+    def restamp(self, timestamp: int) -> None:
+        """Refresh tau(T) and the shadow buffer without counting an attempt.
+
+        Used when an attempt re-runs after a lock wait: the transaction did
+        not abort, so it is not a "rerun" in the paper's sense and costs no
+        extra ``C_trans``; but its timestamp must move past any checkpoint
+        that began while it waited (the COU copy test compares tau(S),
+        stamped from tau(T), against tau(CH)).
+        """
+        if self.state in (TransactionState.COMMITTED, TransactionState.FAILED):
+            raise InvalidStateError(
+                f"txn {self.txn_id} cannot restamp from state {self.state}"
+            )
+        self.timestamp = timestamp
+        self.state = TransactionState.PENDING
+        self.shadow = ShadowBuffer()
+        self.colors_seen = set()
+
+    def value_for(self, record_id: int) -> int:
+        """The value this transaction writes to ``record_id``.
+
+        Deterministic in (txn_id, record_id) so the recovery oracle can
+        reproduce the committed state independently of the database.
+        """
+        return self.txn_id * 1_000_003 + (record_id % 1_000_003)
+
+    def delta_for(self, record_id: int) -> int:
+        """The increment this transaction applies under logical logging.
+
+        Deterministic and non-zero, so double- or missed application is
+        always observable.
+        """
+        return 1 + (self.txn_id + record_id) % 97
+
+    @property
+    def n_updates(self) -> int:
+        return len(self.record_ids)
+
+    @property
+    def is_rerun(self) -> bool:
+        return self.attempts > 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transaction({self.txn_id}, state={self.state.value}, "
+            f"attempts={self.attempts})"
+        )

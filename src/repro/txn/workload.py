@@ -1,0 +1,175 @@
+"""Workload generation (paper Section 2.5, plus skewed extensions).
+
+The paper's load model is deliberately simple: Poisson arrivals at rate
+``lam``, each transaction updating ``N_ru`` distinct records with the
+update probability "distributed uniformly across all of the database
+records".  The analytic model depends on that uniformity; the simulator
+additionally offers **zipf** and **hotspot** record selection so the
+sensitivity of the paper's conclusions to skew can be explored (these feed
+the ablation benchmarks -- skew concentrates dirtying into fewer segments,
+which shrinks partial checkpoints but raises copy-on-update contention).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..params import SystemParameters
+from ..sim.rng import RandomStreams
+from .transaction import Transaction
+
+
+class AccessDistribution(enum.Enum):
+    UNIFORM = "uniform"
+    ZIPF = "zipf"
+    HOTSPOT = "hotspot"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How transactions pick their records and when they arrive.
+
+    Attributes:
+        distribution: record-selection skew (the paper uses UNIFORM).
+        zipf_theta: Zipf exponent when ``distribution`` is ZIPF (>1).
+        hot_fraction: fraction of records forming the hot set (HOTSPOT).
+        hot_probability: probability an access lands in the hot set.
+        poisson_arrivals: exponential inter-arrival times when True,
+            a regular ``1/lam`` spacing when False.
+        update_count_mix: optional ``((n_ru, weight), ...)`` mixture of
+            transaction sizes.  The paper assumes all transactions
+            identical "for simplicity"; a mixture exposes size-dependent
+            effects -- notably that wide transactions dominate two-color
+            aborts (the heterogeneity behind
+            ``repro.model.restarts.expected_reruns_heterogeneous``).
+            None keeps every transaction at ``params.n_ru`` updates.
+    """
+
+    distribution: AccessDistribution = AccessDistribution.UNIFORM
+    zipf_theta: float = 1.2
+    hot_fraction: float = 0.1
+    hot_probability: float = 0.8
+    poisson_arrivals: bool = True
+    update_count_mix: Optional[Tuple[Tuple[int, float], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.distribution is AccessDistribution.ZIPF and self.zipf_theta <= 1:
+            raise ConfigurationError(
+                f"zipf_theta must exceed 1, got {self.zipf_theta!r}"
+            )
+        if not 0 < self.hot_fraction < 1:
+            raise ConfigurationError(
+                f"hot_fraction must be in (0, 1), got {self.hot_fraction!r}"
+            )
+        if not 0 <= self.hot_probability <= 1:
+            raise ConfigurationError(
+                f"hot_probability must be in [0, 1], got {self.hot_probability!r}"
+            )
+        if self.update_count_mix is not None:
+            if not self.update_count_mix:
+                raise ConfigurationError("update_count_mix cannot be empty")
+            for n_ru, weight in self.update_count_mix:
+                if n_ru < 1:
+                    raise ConfigurationError(
+                        f"mixture sizes must be >= 1, got {n_ru!r}")
+                if weight <= 0:
+                    raise ConfigurationError(
+                        f"mixture weights must be positive, got {weight!r}")
+
+    @property
+    def mean_update_count(self) -> Optional[float]:
+        """The mixture's mean transaction size (None without a mixture)."""
+        if self.update_count_mix is None:
+            return None
+        total = sum(weight for _, weight in self.update_count_mix)
+        return sum(n * weight for n, weight in self.update_count_mix) / total
+
+
+class WorkloadGenerator:
+    """Produces the transaction stream for one simulation run."""
+
+    ARRIVAL_STREAM = "workload.arrivals"
+    RECORD_STREAM = "workload.records"
+    SIZE_STREAM = "workload.sizes"
+
+    def __init__(self, params: SystemParameters, spec: WorkloadSpec,
+                 streams: RandomStreams) -> None:
+        self.params = params
+        self.spec = spec
+        self.streams = streams
+        self._next_txn_id = 1
+
+    # -- arrivals -------------------------------------------------------------
+    def next_interarrival(self) -> float:
+        """Seconds until the next transaction arrives."""
+        if self.spec.poisson_arrivals:
+            return self.streams.exponential(self.ARRIVAL_STREAM, self.params.lam)
+        return 1.0 / self.params.lam
+
+    # -- record selection ------------------------------------------------------
+    def _draw_update_count(self) -> int:
+        mix = self.spec.update_count_mix
+        if mix is None:
+            return self.params.n_ru
+        weights = [weight for _, weight in mix]
+        total_weight = sum(weights)
+        draw = self.streams.stream(self.SIZE_STREAM).random() * total_weight
+        cumulative = 0.0
+        for n_ru, weight in mix:
+            cumulative += weight
+            if draw < cumulative:
+                return min(n_ru, self.params.n_records)
+        return min(mix[-1][0], self.params.n_records)
+
+    def _draw_records(self) -> list[int]:
+        n = self._draw_update_count()
+        total = self.params.n_records
+        rng = self.streams.stream(self.RECORD_STREAM)
+        if self.spec.distribution is AccessDistribution.UNIFORM:
+            return self.streams.choice_without_replacement(
+                self.RECORD_STREAM, total, n)
+        if self.spec.distribution is AccessDistribution.ZIPF:
+            return self._draw_zipf(rng, total, n)
+        return self._draw_hotspot(rng, total, n)
+
+    def _draw_zipf(self, rng: np.random.Generator, total: int,
+                   n: int) -> list[int]:
+        """Distinct Zipf-distributed record ids (rank 1 most popular)."""
+        chosen: set[int] = set()
+        while len(chosen) < n:
+            rank = int(rng.zipf(self.spec.zipf_theta))
+            if rank <= total:
+                chosen.add(rank - 1)
+        return sorted(chosen)
+
+    def _draw_hotspot(self, rng: np.random.Generator, total: int,
+                      n: int) -> list[int]:
+        """Distinct records, each hot with probability ``hot_probability``."""
+        hot_size = max(1, int(total * self.spec.hot_fraction))
+        chosen: set[int] = set()
+        while len(chosen) < n:
+            if rng.random() < self.spec.hot_probability:
+                chosen.add(int(rng.integers(0, hot_size)))
+            else:
+                chosen.add(int(rng.integers(hot_size, total)))
+        return sorted(chosen)
+
+    # -- transactions --------------------------------------------------------------
+    def make_transaction(self, arrival_time: float) -> Transaction:
+        """Create the next transaction in the stream."""
+        txn = Transaction(
+            txn_id=self._next_txn_id,
+            record_ids=tuple(self._draw_records()),
+            arrival_time=arrival_time,
+        )
+        self._next_txn_id += 1
+        return txn
+
+    @property
+    def transactions_created(self) -> int:
+        return self._next_txn_id - 1

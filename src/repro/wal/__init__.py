@@ -1,0 +1,37 @@
+"""REDO-only write-ahead logging (paper Sections 2.6, 3.1).
+
+Transactions use shadow-copy updates, so no UNDO information is ever
+needed: the log carries only new record values (REDO records) plus commit
+and checkpoint markers.  The log has two parts: a volatile in-memory
+**tail** and the **stable** portion on the log disks.  A transaction is
+durable once its commit record is stable.
+
+The interaction between the log and the checkpointer is the crux of
+Section 3.1: a segment image must not reach the backup disks before the
+log records of the updates it reflects are stable (the write-ahead rule).
+FUZZYCOPY, 2CFLUSH/2CCOPY enforce the rule with log sequence numbers;
+FASTFUZZY relies on a *stable log tail* (battery-backed RAM) instead,
+under which the tail is stable by definition.
+"""
+
+from .log import LogManager
+from .lsn import LSNAllocator
+from .records import (
+    AbortRecord,
+    BeginCheckpointRecord,
+    CommitRecord,
+    EndCheckpointRecord,
+    LogRecord,
+    UpdateRecord,
+)
+
+__all__ = [
+    "AbortRecord",
+    "BeginCheckpointRecord",
+    "CommitRecord",
+    "EndCheckpointRecord",
+    "LogManager",
+    "LogRecord",
+    "LSNAllocator",
+    "UpdateRecord",
+]

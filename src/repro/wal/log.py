@@ -1,0 +1,320 @@
+"""The log manager: volatile tail, stable portion, group flush, WAL waits.
+
+Responsibilities:
+
+* append REDO/commit/abort/checkpoint records, assigning LSNs;
+* move the tail to stable storage on :meth:`flush` (group commit -- the
+  simulator schedules flushes periodically and charges one ``C_io`` per
+  flush plus the disk transfer time);
+* under a **stable log tail** (Section 4), every appended record is stable
+  immediately: battery-backed RAM survives the crash, so the write-ahead
+  rule holds trivially and FASTFUZZY becomes safe;
+* notify waiters when a given LSN becomes stable -- the mechanism
+  FUZZYCOPY/2C/COU-COPY checkpointers use to delay flushing a buffered
+  segment until its updates' log records are on the log disks;
+* expose the stable record sequence and its volume in words for recovery.
+
+A crash (:meth:`crash`) discards the volatile tail; with a stable tail it
+is retained.  Recovery then reads :meth:`stable_records`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidStateError, WALViolation
+from ..params import SystemParameters
+from .lsn import LSNAllocator
+from .records import (
+    AbortRecord,
+    BeginCheckpointRecord,
+    CommitRecord,
+    EndCheckpointRecord,
+    LogicalUpdateRecord,
+    LogRecord,
+    MediaFailureRecord,
+    MediaRestoreRecord,
+    UpdateRecord,
+)
+
+StableCallback = Callable[[], None]
+
+
+@dataclass(frozen=True)
+class FlushResult:
+    """Outcome of one group flush."""
+
+    records: int
+    words: int
+    stable_lsn: int
+
+
+class LogManager:
+    """REDO-only log with a volatile (or stable-RAM) tail."""
+
+    def __init__(self, params: SystemParameters) -> None:
+        self.params = params
+        self.stable_tail = params.stable_log_tail
+        self._allocator = LSNAllocator()
+        self._tail: List[LogRecord] = []
+        self._stable: List[LogRecord] = []
+        self._stable_lsn = 0
+        self._waiters: List[Tuple[int, int, StableCallback]] = []
+        self._waiter_seq = 0
+        self.flush_count = 0
+        self.words_appended = 0
+        self.words_flushed = 0
+        #: records newly made stable since the last drain (oracle hook)
+        self._newly_stable: List[LogRecord] = []
+
+    # -- sizing -------------------------------------------------------------
+    def record_size_words(self, record: LogRecord) -> int:
+        """Size of ``record`` in words under the configured layout."""
+        return record.size_words(
+            record_words=self.params.s_rec,
+            header_words=self.params.s_log_header,
+            commit_words=self.params.s_log_commit,
+        )
+
+    # -- appends --------------------------------------------------------------
+    def _append(self, make: Callable[[int], LogRecord]) -> LogRecord:
+        record = make(self._allocator.allocate())
+        self.words_appended += self.record_size_words(record)
+        if self.stable_tail:
+            # Stable RAM: the record is durable the moment it is written.
+            self._stable.append(record)
+            self._stable_lsn = record.lsn
+            self._newly_stable.append(record)
+            self._fire_waiters()
+        else:
+            self._tail.append(record)
+        return record
+
+    def append_update(self, txn_id: int, record_id: int, value: int) -> UpdateRecord:
+        """Append one REDO record; returns it (with its LSN)."""
+        record = self._append(
+            lambda lsn: UpdateRecord(lsn=lsn, txn_id=txn_id,
+                                     record_id=record_id, value=value))
+        assert isinstance(record, UpdateRecord)
+        return record
+
+    def append_logical_update(self, txn_id: int, record_id: int,
+                              delta: int) -> LogicalUpdateRecord:
+        """Append one logical (transition) REDO record."""
+        record = self._append(
+            lambda lsn: LogicalUpdateRecord(lsn=lsn, txn_id=txn_id,
+                                            record_id=record_id, delta=delta))
+        assert isinstance(record, LogicalUpdateRecord)
+        return record
+
+    def append_commit(self, txn_id: int) -> CommitRecord:
+        record = self._append(lambda lsn: CommitRecord(lsn=lsn, txn_id=txn_id))
+        assert isinstance(record, CommitRecord)
+        return record
+
+    def append_abort(self, txn_id: int, reason: str = "aborted") -> AbortRecord:
+        record = self._append(
+            lambda lsn: AbortRecord(lsn=lsn, txn_id=txn_id, reason=reason))
+        assert isinstance(record, AbortRecord)
+        return record
+
+    def append_begin_checkpoint(
+        self, checkpoint_id: int, timestamp: float,
+        active_txns: Iterable[int], image: int,
+    ) -> BeginCheckpointRecord:
+        record = self._append(
+            lambda lsn: BeginCheckpointRecord(
+                lsn=lsn, checkpoint_id=checkpoint_id, timestamp=timestamp,
+                active_txns=tuple(active_txns), image=image))
+        assert isinstance(record, BeginCheckpointRecord)
+        return record
+
+    def append_end_checkpoint(self, checkpoint_id: int,
+                              image: int) -> EndCheckpointRecord:
+        record = self._append(
+            lambda lsn: EndCheckpointRecord(lsn=lsn, checkpoint_id=checkpoint_id,
+                                            image=image))
+        assert isinstance(record, EndCheckpointRecord)
+        return record
+
+    def append_media_failure(self, image: int) -> MediaFailureRecord:
+        """Record that backup image ``image`` was lost (Section 2.7)."""
+        record = self._append(
+            lambda lsn: MediaFailureRecord(lsn=lsn, image=image))
+        assert isinstance(record, MediaFailureRecord)
+        return record
+
+    def append_media_restore(self, image: int,
+                             checkpoint_id: int) -> MediaRestoreRecord:
+        """Record that ``image`` was rebuilt from an archived checkpoint."""
+        record = self._append(
+            lambda lsn: MediaRestoreRecord(lsn=lsn, image=image,
+                                           checkpoint_id=checkpoint_id))
+        assert isinstance(record, MediaRestoreRecord)
+        return record
+
+    # -- flushing ----------------------------------------------------------------
+    @property
+    def stable_lsn(self) -> int:
+        """Highest LSN guaranteed to survive a crash (0 if none)."""
+        return self._stable_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        """Highest LSN allocated so far."""
+        return self._allocator.last_allocated
+
+    @property
+    def tail_records(self) -> int:
+        return len(self._tail)
+
+    @property
+    def tail_words(self) -> int:
+        return sum(self.record_size_words(r) for r in self._tail)
+
+    def flush(self) -> FlushResult:
+        """Force the whole tail to stable storage (group flush)."""
+        words = self.tail_words
+        count = len(self._tail)
+        if count:
+            self._stable.extend(self._tail)
+            self._newly_stable.extend(self._tail)
+            self._stable_lsn = self._tail[-1].lsn
+            self._tail.clear()
+            self.words_flushed += words
+            self.flush_count += 1
+            self._fire_waiters()
+        return FlushResult(records=count, words=words,
+                           stable_lsn=self._stable_lsn)
+
+    def is_stable(self, lsn: int) -> bool:
+        """Whether the record with ``lsn`` has reached stable storage."""
+        return lsn <= self._stable_lsn
+
+    def when_stable(self, lsn: int, callback: StableCallback) -> None:
+        """Invoke ``callback`` as soon as ``lsn`` is stable.
+
+        If it already is, the callback runs immediately.  This is the WAL
+        wait primitive the COPY-style checkpointers use before flushing a
+        buffered segment image.
+        """
+        if self.is_stable(lsn):
+            callback()
+            return
+        heapq.heappush(self._waiters, (lsn, self._waiter_seq, callback))
+        self._waiter_seq += 1
+
+    def _fire_waiters(self) -> None:
+        while self._waiters and self._waiters[0][0] <= self._stable_lsn:
+            _, _, callback = heapq.heappop(self._waiters)
+            callback()
+
+    def assert_wal(self, segment_lsn: int, context: str) -> None:
+        """Raise :class:`WALViolation` if flushing data stamped with
+        ``segment_lsn`` would break the write-ahead rule."""
+        if not self.is_stable(segment_lsn):
+            raise WALViolation(
+                f"{context}: segment reflects LSN {segment_lsn} but stable "
+                f"LSN is only {self._stable_lsn}"
+            )
+
+    # -- crash & recovery interface ------------------------------------------------
+    def crash(self) -> int:
+        """Lose the volatile tail; returns the number of records lost.
+
+        With a stable log tail nothing is lost (the tail *is* stable).
+        Pending stability waiters are dropped -- the components holding
+        them are volatile too.
+        """
+        lost = len(self._tail)
+        self._tail.clear()
+        self._waiters.clear()
+        return lost
+
+    def stable_records(self) -> Sequence[LogRecord]:
+        """The stable log, in LSN order (what recovery gets to read)."""
+        return tuple(self._stable)
+
+    def drain_newly_stable(self) -> List[LogRecord]:
+        """Records made stable since the previous drain (oracle hook)."""
+        drained = self._newly_stable
+        self._newly_stable = []
+        return drained
+
+    def stable_words_from(self, lsn: int) -> int:
+        """Words of stable log at or after ``lsn`` (recovery read volume)."""
+        return sum(
+            self.record_size_words(record)
+            for record in self._stable
+            if record.lsn >= lsn
+        )
+
+    def truncate_stable_before(self, lsn: int) -> int:
+        """Discard stable records with LSN < ``lsn`` (log reclamation).
+
+        Checkpointing bounds the log: once a checkpoint completes, records
+        older than the *previous* completed checkpoint's begin marker are
+        never needed again.  Returns the number of words reclaimed.
+        """
+        kept: List[LogRecord] = []
+        reclaimed = 0
+        for record in self._stable:
+            if record.lsn < lsn:
+                reclaimed += self.record_size_words(record)
+            else:
+                kept.append(record)
+        self._stable = kept
+        return reclaimed
+
+    def find_last_completed_checkpoint(
+        self,
+    ) -> Optional[Tuple[BeginCheckpointRecord, EndCheckpointRecord]]:
+        """Backward-scan for the most recently *completed, usable* checkpoint.
+
+        Mirrors Section 3.3: scan backwards for an end-checkpoint marker,
+        then for its matching begin marker.  An end marker on image ``i``
+        is usable iff it postdates the last media failure of ``i``, or a
+        later :class:`MediaRestoreRecord` rebuilt exactly that checkpoint
+        from tape.  Returns None when no usable checkpoint exists
+        (recovery must then replay from the log's beginning over an empty
+        database).
+        """
+        last_fail: dict[int, int] = {}       # image -> LSN of newest failure
+        resurrected: set[tuple[int, int]] = set()   # (image, checkpoint_id)
+        for record in self._stable:
+            if isinstance(record, MediaFailureRecord):
+                last_fail[record.image] = record.lsn
+        for record in self._stable:
+            if isinstance(record, MediaRestoreRecord):
+                if record.lsn > last_fail.get(record.image, -1):
+                    resurrected.add((record.image, record.checkpoint_id))
+
+        def usable(end: EndCheckpointRecord) -> bool:
+            fail_lsn = last_fail.get(end.image)
+            if fail_lsn is None or end.lsn > fail_lsn:
+                return True
+            return (end.image, end.checkpoint_id) in resurrected
+
+        end: Optional[EndCheckpointRecord] = None
+        for record in reversed(self._stable):
+            if end is None and isinstance(record, EndCheckpointRecord):
+                if usable(record):
+                    end = record
+                continue
+            if end is not None and isinstance(record, BeginCheckpointRecord):
+                if record.checkpoint_id == end.checkpoint_id:
+                    return record, end
+                if record.checkpoint_id < end.checkpoint_id:
+                    break  # scanned past where the begin should have been
+        if end is not None:
+            # An end marker whose begin never appears: the log was
+            # truncated past its own replay start.  Recovering as if no
+            # checkpoint existed would silently lose the truncated
+            # records, so fail loudly instead.
+            raise InvalidStateError(
+                f"begin marker for checkpoint {end.checkpoint_id} is "
+                "missing from the log; it was truncated past its own end "
+                "marker")
+        return None

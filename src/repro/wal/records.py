@@ -1,0 +1,172 @@
+"""Log record types.
+
+The REDO-only log (Section 2.6) contains:
+
+* :class:`UpdateRecord` -- the new value of one record written by a
+  transaction (a REDO record; there are no UNDO records);
+* :class:`CommitRecord` / :class:`AbortRecord` -- transaction outcomes.
+  Recovery replays the updates of committed transactions only.  Abort
+  records appear when the two-color algorithms kill a transaction whose
+  updates already reached the log tail -- the "added log bulk of
+  transactions aborted by the two-color constraints" the paper charges
+  against recovery time;
+* :class:`BeginCheckpointRecord` -- written when a checkpoint starts; it
+  carries the list of transactions active at that moment (Section 3.1) and,
+  for copy-on-update checkpoints, the checkpoint timestamp tau(CH);
+* :class:`EndCheckpointRecord` -- written when a checkpoint completes, so
+  the backward scan at recovery time can find the begin marker of the most
+  recently *completed* checkpoint (Section 3.3, footnote).
+
+Each record knows its size in words so log volume -- and hence recovery
+time -- can be accounted exactly as the model does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """Base log record.  ``lsn`` is assigned by the log manager on append."""
+
+    lsn: int
+
+    def size_words(self, record_words: int, header_words: int,
+                   commit_words: int) -> int:
+        """Size of this record in words, given the layout parameters."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UpdateRecord(LogRecord):
+    """REDO record: transaction ``txn_id`` set ``record_id`` to ``value``."""
+
+    txn_id: int = 0
+    record_id: int = 0
+    value: int = 0
+
+    def size_words(self, record_words: int, header_words: int,
+                   commit_words: int) -> int:
+        return record_words + header_words
+
+
+@dataclass(frozen=True)
+class LogicalUpdateRecord(LogRecord):
+    """Logical (transition) REDO record: apply ``delta`` to ``record_id``.
+
+    The paper notes that consistent backups "permit the use of logical
+    logging" (also called transition or operation logging [Haer83a]).
+    Unlike a value record, replaying a delta is *not* idempotent: it is
+    only sound against a base state from exactly the log position replay
+    starts at.  The reproduction uses this to demonstrate which
+    checkpoint algorithms actually deliver that guarantee: copy-on-update
+    checkpoints do (both scopes -- the per-image staleness rule keeps
+    every image segment at its begin-marker state), while fuzzy and
+    two-color backups silently corrupt (double-applied deltas) -- see
+    tests/test_logical_logging.py.
+    """
+
+    txn_id: int = 0
+    record_id: int = 0
+    delta: int = 0
+
+    def size_words(self, record_words: int, header_words: int,
+                   commit_words: int) -> int:
+        # A delta occupies one word instead of the record's full image.
+        return 1 + header_words
+
+
+@dataclass(frozen=True)
+class CommitRecord(LogRecord):
+    """Transaction ``txn_id`` committed."""
+
+    txn_id: int = 0
+
+    def size_words(self, record_words: int, header_words: int,
+                   commit_words: int) -> int:
+        return commit_words
+
+
+@dataclass(frozen=True)
+class AbortRecord(LogRecord):
+    """Transaction ``txn_id`` aborted (its update records must be skipped)."""
+
+    txn_id: int = 0
+    reason: str = "aborted"
+
+    def size_words(self, record_words: int, header_words: int,
+                   commit_words: int) -> int:
+        return commit_words
+
+
+@dataclass(frozen=True)
+class BeginCheckpointRecord(LogRecord):
+    """A checkpoint began.
+
+    Attributes:
+        checkpoint_id: monotonically increasing checkpoint number.
+        timestamp: tau(CH) for copy-on-update checkpoints (simulated time).
+        active_txns: ids of transactions active when the marker was written
+            (needed by FUZZYCOPY recovery to extend the backward scan).
+        image: which ping-pong backup image (0 or 1) this checkpoint writes.
+    """
+
+    checkpoint_id: int = 0
+    timestamp: float = 0.0
+    active_txns: Tuple[int, ...] = field(default_factory=tuple)
+    image: int = 0
+
+    def size_words(self, record_words: int, header_words: int,
+                   commit_words: int) -> int:
+        return commit_words + len(self.active_txns)
+
+
+@dataclass(frozen=True)
+class EndCheckpointRecord(LogRecord):
+    """Checkpoint ``checkpoint_id`` completed; image ``image`` is whole."""
+
+    checkpoint_id: int = 0
+    image: int = 0
+
+    def size_words(self, record_words: int, header_words: int,
+                   commit_words: int) -> int:
+        return commit_words
+
+
+@dataclass(frozen=True)
+class MediaRestoreRecord(LogRecord):
+    """Backup image ``image`` was rebuilt from an archival (tape) dump of
+    checkpoint ``checkpoint_id``.
+
+    Makes a tape restore visible to recovery: the restored checkpoint's
+    *original* begin/end markers become usable again, so replay starts at
+    the original begin marker -- exactly where the archived image's data
+    is from.
+    """
+
+    image: int = 0
+    checkpoint_id: int = 0
+
+    def size_words(self, record_words: int, header_words: int,
+                   commit_words: int) -> int:
+        return commit_words
+
+
+@dataclass(frozen=True)
+class MediaFailureRecord(LogRecord):
+    """Backup image ``image`` was lost to a secondary-media failure.
+
+    Paper Section 2.7 discusses secondary media failures in a MMDBMS.
+    Recording the loss in the log lets the recovery-time backward scan
+    skip checkpoints whose image no longer exists: a checkpoint on image
+    ``image`` is only usable if its end marker appears *after* the most
+    recent failure record for that image (the image was rewritten since).
+    """
+
+    image: int = 0
+
+    def size_words(self, record_words: int, header_words: int,
+                   commit_words: int) -> int:
+        return commit_words

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Simulation tests run against scaled-down parameter sets (the paper's 256
+Mword database is pointless to materialise in a test); the scaling keeps
+record/segment ratios intact, so every mechanism behaves as at full
+scale.  ``tiny_params`` is small enough for exhaustive checks;
+``small_params`` is big enough for statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import SystemParameters
+
+
+@pytest.fixture
+def paper_params() -> SystemParameters:
+    """The exact defaults of Tables 2a-2d."""
+    return SystemParameters.paper_defaults()
+
+
+@pytest.fixture
+def tiny_params() -> SystemParameters:
+    """A 16-segment, 4096-record database for fast unit tests."""
+    return SystemParameters(
+        s_db=16 * 8192,
+        lam=100.0,
+        t_seek=0.002,
+        n_bdisks=4,
+    )
+
+
+@pytest.fixture
+def small_params() -> SystemParameters:
+    """A 128-segment database: enough segments for meaningful sweeps."""
+    return SystemParameters(
+        s_db=128 * 8192,
+        lam=200.0,
+        t_seek=0.002,
+        n_bdisks=8,
+    )

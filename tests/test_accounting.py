@@ -1,0 +1,117 @@
+"""Tests for the instruction-cost ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.accounting import CostCategory, CostLedger, OperationCosts
+from repro.errors import ConfigurationError
+from repro.params import PAPER_DEFAULTS
+
+
+@pytest.fixture
+def ledger() -> CostLedger:
+    return CostLedger(OperationCosts.from_params(PAPER_DEFAULTS))
+
+
+class TestBasicCharges:
+    def test_lock_charge_uses_table_2a_price(self, ledger):
+        ledger.charge_lock(synchronous=True, operations=2)
+        assert ledger.synchronous_total == 40
+
+    def test_lsn_charge(self, ledger):
+        ledger.charge_lsn(synchronous=False, operations=3)
+        assert ledger.asynchronous_total == 60
+
+    def test_alloc_charge(self, ledger):
+        ledger.charge_alloc(synchronous=True)
+        assert ledger.synchronous_total == 100
+
+    def test_io_charge(self, ledger):
+        ledger.charge_io(synchronous=False)
+        assert ledger.asynchronous_total == 1000
+
+    def test_copy_charge_is_one_instruction_per_word(self, ledger):
+        ledger.charge_copy(8192, synchronous=False)
+        assert ledger.asynchronous_total == 8192
+
+    def test_dirty_check_charge(self, ledger):
+        ledger.charge_dirty_check(synchronous=False, operations=10)
+        assert ledger.asynchronous_total == 10 * PAPER_DEFAULTS.c_dirty_check
+
+    def test_negative_charge_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.charge(CostCategory.IO, -1, synchronous=True)
+
+
+class TestTransactionRuns:
+    def test_first_run_not_checkpoint_overhead(self, ledger):
+        ledger.charge_transaction_run(restart=False)
+        assert ledger.total == 25000
+        assert ledger.checkpoint_overhead_total() == 0
+
+    def test_restart_counts_as_overhead(self, ledger):
+        ledger.charge_transaction_run(restart=True)
+        assert ledger.checkpoint_overhead_total() == 25000
+
+    def test_logging_excluded_from_overhead(self, ledger):
+        ledger.charge(CostCategory.LOGGING, 5000, synchronous=False)
+        assert ledger.total == 5000
+        assert ledger.checkpoint_overhead_total() == 0
+
+
+class TestTotals:
+    def test_sync_async_separation(self, ledger):
+        ledger.charge_io(synchronous=True)
+        ledger.charge_io(synchronous=False, operations=2)
+        assert ledger.synchronous_total == 1000
+        assert ledger.asynchronous_total == 2000
+        assert ledger.total == 3000
+
+    def test_by_category_merged(self, ledger):
+        ledger.charge_lock(synchronous=True)
+        ledger.charge_lock(synchronous=False)
+        merged = ledger.by_category()
+        assert merged[CostCategory.LOCK] == 40
+
+    def test_by_category_filtered(self, ledger):
+        ledger.charge_lock(synchronous=True)
+        ledger.charge_io(synchronous=False)
+        assert CostCategory.IO not in ledger.by_category(synchronous=True)
+        assert ledger.by_category(synchronous=False)[CostCategory.IO] == 1000
+
+    def test_overhead_per_transaction(self, ledger):
+        ledger.charge_io(synchronous=False, operations=10)  # 10000 instr
+        assert ledger.overhead_per_transaction(100) == pytest.approx(100.0)
+
+    def test_overhead_per_transaction_rejects_zero(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.overhead_per_transaction(0)
+
+    def test_totals_equal_category_sum(self, ledger):
+        ledger.charge_lock(synchronous=True, operations=3)
+        ledger.charge_copy(100, synchronous=False)
+        ledger.charge_alloc(synchronous=False)
+        merged = ledger.by_category()
+        assert sum(merged.values()) == pytest.approx(ledger.total)
+
+    def test_reset(self, ledger):
+        ledger.charge_io(synchronous=True)
+        ledger.reset()
+        assert ledger.total == 0
+
+
+class TestSnapshots:
+    def test_delta_from_snapshot(self, ledger):
+        ledger.charge_io(synchronous=True)
+        snap = ledger.snapshot()
+        ledger.charge_io(synchronous=False, operations=2)
+        ledger.charge_lock(synchronous=True)
+        delta = snap.delta_from(ledger)
+        assert delta["synchronous"] == pytest.approx(20)
+        assert delta["asynchronous"] == pytest.approx(2000)
+
+    def test_snapshot_is_immutable_copy(self, ledger):
+        snap = ledger.snapshot()
+        ledger.charge_io(synchronous=True)
+        assert sum(snap.sync.values()) == 0

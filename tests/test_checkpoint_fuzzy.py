@@ -1,0 +1,126 @@
+"""Tests for the fuzzy checkpointers (FUZZYCOPY, FASTFUZZY)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import CheckpointHarness
+from repro.cpu.accounting import CostCategory
+
+
+class TestFuzzyCopy:
+    def test_buffered_write_waits_for_log_flush(self, tiny_params):
+        """The WAL rule: a segment copy flushes only after its log records."""
+        harness = CheckpointHarness(tiny_params, "FUZZYCOPY")
+        harness.submit([0])          # log records sit in the volatile tail
+        harness.checkpointer.start_checkpoint()
+        harness.engine.run()         # drain every event without flushing
+        run = harness.checkpointer.current
+        assert run is not None       # still active: waiting on the LSN
+        assert run.segments_flushed == 0
+        harness.log.flush()          # group commit arrives
+        harness.drive_checkpoint()
+        assert harness.checkpointer.history[-1].segments_flushed == 1
+
+    def test_no_locks_taken(self, tiny_params):
+        harness = CheckpointHarness(tiny_params, "FUZZYCOPY")
+        harness.submit([0])
+        harness.log.flush()
+        acquisitions_before = harness.locks.acquisitions  # the txn's own
+        harness.run_checkpoint()
+        assert harness.locks.acquisitions == acquisitions_before
+        assert harness.ledger.by_category().get(CostCategory.LOCK, 0) == 0
+
+    def test_transactions_never_aborted(self, tiny_params):
+        harness = CheckpointHarness(tiny_params, "FUZZYCOPY")
+        harness.submit([0])
+        harness.log.flush()
+        harness.checkpointer.start_checkpoint()
+        txn = harness.submit([1, 100])  # mid-checkpoint transaction
+        assert txn.state.value == "committed"
+        harness.drive_checkpoint()
+        assert harness.manager.stats.total_aborts == 0
+
+    def test_copy_cost_charged_per_word(self, tiny_params):
+        harness = CheckpointHarness(tiny_params, "FUZZYCOPY")
+        harness.submit([0])
+        harness.log.flush()
+        before = harness.ledger.by_category().get(CostCategory.COPY, 0)
+        harness.run_checkpoint()
+        copied = harness.ledger.by_category()[CostCategory.COPY] - before
+        assert copied == tiny_params.s_seg  # one segment buffered
+
+    def test_fuzziness_copy_taken_at_processing_time(self, tiny_params):
+        """A segment copied before a later update flushes the older value.
+
+        That staleness is exactly what makes the backup "fuzzy"; the log
+        replay repairs it at recovery.
+        """
+        harness = CheckpointHarness(tiny_params, "FUZZYCOPY")
+        first = harness.submit([0])
+        harness.log.flush()
+        harness.checkpointer.start_checkpoint()  # segment 0 copied now
+        second = harness.submit([0])             # updates after the copy
+        harness.log.flush()
+        stats = harness.drive_checkpoint()
+        assert harness.image_value(stats.image, 0) == first.value_for(0)
+        assert harness.database.read_record(0) == second.value_for(0)
+
+    def test_active_transaction_list_in_marker(self, tiny_params):
+        from repro.mmdb.locks import LockMode
+        from repro.wal.records import BeginCheckpointRecord
+        harness = CheckpointHarness(tiny_params, "FUZZYCOPY")
+        # Park a transaction behind a fake lock so it is active at begin.
+        harness.locks.try_acquire(2, "blocker", LockMode.SHARED)
+        waiting = harness.submit([2 * tiny_params.records_per_segment])
+        harness.checkpointer.start_checkpoint()
+        harness.log.flush()
+        marker = next(r for r in harness.log.stable_records()
+                      if isinstance(r, BeginCheckpointRecord)
+                      and r.checkpoint_id == 1)
+        assert waiting.txn_id in marker.active_txns
+        harness.locks.release(2, "blocker")
+        harness.drive_checkpoint()
+
+
+class TestFastFuzzy:
+    def _harness(self, params, **kwargs):
+        return CheckpointHarness(
+            params.replace(stable_log_tail=True), "FASTFUZZY", **kwargs)
+
+    def test_no_copies_no_locks_no_lsn(self, tiny_params):
+        harness = self._harness(tiny_params)
+        harness.submit([0])
+        harness.run_checkpoint()
+        categories = harness.ledger.by_category(synchronous=False)
+        assert categories.get(CostCategory.COPY, 0) == 0
+        assert categories.get(CostCategory.LOCK, 0) == 0
+        assert categories.get(CostCategory.LSN, 0) == 0
+        assert categories.get(CostCategory.ALLOC, 0) == 0
+
+    def test_flush_cost_is_io_only(self, tiny_params):
+        harness = self._harness(tiny_params)
+        harness.submit([0])
+        ledger_before = harness.ledger.asynchronous_total
+        stats = harness.run_checkpoint()
+        spent = harness.ledger.asynchronous_total - ledger_before
+        # One segment write + dirty-bit sweep.  No end-of-checkpoint log
+        # flush I/O: with a stable tail there is never anything to flush.
+        expected = (tiny_params.c_io
+                    + tiny_params.n_segments * tiny_params.c_dirty_check)
+        assert spent == pytest.approx(expected)
+        assert stats.buffer_copies == 0
+
+    def test_image_gets_current_value(self, tiny_params):
+        harness = self._harness(tiny_params)
+        txn = harness.submit([9])
+        stats = harness.run_checkpoint()
+        assert harness.image_value(stats.image, 9) == txn.value_for(9)
+
+    def test_no_wal_wait_needed(self, tiny_params):
+        """With a stable tail the checkpoint never blocks on the log."""
+        harness = self._harness(tiny_params)
+        harness.submit([0])
+        harness.checkpointer.start_checkpoint()
+        harness.engine.run()  # no manual flush ever needed
+        assert not harness.checkpointer.active

@@ -1,0 +1,174 @@
+"""Tests for the CLI, the ASCII plotter, and the experiment renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablations,
+    extensions,
+    fig4a,
+    fig4b,
+    fig4c,
+    fig4d,
+    fig4e,
+    tables,
+)
+from repro.experiments.ascii_plot import AsciiPlot
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestCliCommands:
+    def test_tables(self, capsys):
+        out = run_cli(capsys, "tables")
+        for fragment in ("Table 2a", "Table 2b", "Table 2c", "Table 2d",
+                         "C_lock", "N_bdisks", "S_seg", "C_trans"):
+            assert fragment in out
+
+    def test_figures_single(self, capsys):
+        out = run_cli(capsys, "figures", "4a")
+        assert "Figure 4a" in out
+        assert "FUZZYCOPY" in out and "2CCOPY" in out
+
+    def test_figures_all(self, capsys):
+        out = run_cli(capsys, "figures", "all")
+        for name in ("Figure 4a", "Figure 4b", "Figure 4c", "Figure 4d",
+                     "Figure 4e"):
+            assert name in out
+
+    def test_figures_plot(self, capsys):
+        out = run_cli(capsys, "figures", "4c", "--plot")
+        assert "legend:" in out
+        assert "FUZZYCOPY" in out
+
+    def test_evaluate(self, capsys):
+        out = run_cli(capsys, "evaluate", "--algorithm", "coucopy")
+        assert "COUCOPY" in out
+        assert "overhead_per_txn" in out
+        assert "recovery_time" in out
+
+    def test_evaluate_with_overrides(self, capsys):
+        base = run_cli(capsys, "evaluate", "--algorithm", "2CCOPY")
+        fast = run_cli(capsys, "evaluate", "--algorithm", "2CCOPY",
+                       "--disks", "40")
+        assert base != fast
+
+    def test_evaluate_stable_tail_enables_fastfuzzy(self, capsys):
+        out = run_cli(capsys, "evaluate", "--algorithm", "FASTFUZZY",
+                      "--stable-tail")
+        assert "FASTFUZZY" in out
+
+    def test_simulate_with_crash(self, capsys):
+        out = run_cli(capsys, "simulate", "--algorithm", "COUCOPY",
+                      "--duration", "2", "--scale", "1024", "--lam", "100",
+                      "--crash")
+        assert "committed" in out
+        assert "oracle" in out and "PASS" in out
+
+    def test_simulate_extension_algorithm(self, capsys):
+        out = run_cli(capsys, "simulate", "--algorithm", "NAIVELOCK",
+                      "--duration", "1", "--scale", "1024", "--lam", "100")
+        assert "NAIVELOCK" in out
+
+    def test_ablations(self, capsys):
+        out = run_cli(capsys, "ablations")
+        assert "dirty_window" in out and "t_seek" in out
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_parser_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "4z"])
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        plot = AsciiPlot(title="demo", x_label="x", y_label="y")
+        plot.add_series("line", [(0, 0), (1, 1), (2, 4)])
+        out = plot.render()
+        assert "demo" in out
+        assert "legend: o=line" in out
+        assert "o" in out
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        plot = AsciiPlot()
+        plot.add_series("a", [(0, 0), (1, 1)])
+        plot.add_series("b", [(0, 1), (1, 0)])
+        out = plot.render()
+        assert "o=a" in out and "x=b" in out
+
+    def test_log_axes(self):
+        plot = AsciiPlot(log_x=True, log_y=True)
+        plot.add_series("s", [(1, 10), (100, 1000)])
+        out = plot.render()
+        assert "[log y]" not in out  # labels only shown with axis labels
+        plot2 = AsciiPlot(log_y=True, x_label="x", y_label="y")
+        plot2.add_series("s", [(1, 10), (100, 1000)])
+        assert "[log y]" in plot2.render()
+
+    def test_log_axis_rejects_nonpositive(self):
+        plot = AsciiPlot(log_y=True)
+        plot.add_series("s", [(0, 0), (1, 1)])
+        with pytest.raises(ConfigurationError):
+            plot.render()
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AsciiPlot().render()
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AsciiPlot(width=5, height=2)
+
+    def test_constant_series_renders(self):
+        plot = AsciiPlot()
+        plot.add_series("flat", [(0, 5), (1, 5), (2, 5)])
+        assert "flat" in plot.render()
+
+
+class TestExperimentRenderers:
+    """Every render() produces a non-trivial table (smoke + content)."""
+
+    def test_fig4a_render(self):
+        out = fig4a.render()
+        assert "Figure 4a" in out and "COUFLUSH" in out
+
+    def test_fig4b_render(self):
+        out = fig4b.render()
+        assert "20 disks" in out and "40 disks" in out
+
+    def test_fig4c_render(self):
+        out = fig4c.render()
+        assert "lam (tps)" in out
+
+    def test_fig4d_render(self):
+        out = fig4d.render()
+        assert "dotted" in out and "solid" in out
+
+    def test_fig4e_render(self):
+        out = fig4e.render()
+        assert "FASTFUZZY" in out
+
+    def test_tables_render(self):
+        out = tables.render()
+        assert out.count("Table 2") == 4
+
+    def test_ablations_render(self):
+        out = ablations.render()
+        assert "restart_log_bulk" in out
+
+    def test_extensions_spectrum(self):
+        points = extensions.consistency_spectrum()
+        by_name = {p.algorithm: p for p in points}
+        assert (by_name["ACFLUSH"].overhead_per_txn
+                < by_name["FUZZYCOPY"].overhead_per_txn)
+        assert (by_name["ACCOPY"].overhead_per_txn
+                < 0.2 * by_name["2CCOPY"].overhead_per_txn)

@@ -1,0 +1,165 @@
+"""Tests for the segment lock manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LockError
+from repro.mmdb.locks import LockManager, LockMode
+
+
+@pytest.fixture
+def locks() -> LockManager:
+    return LockManager()
+
+
+class TestBasicAcquisition:
+    def test_try_acquire_free(self, locks):
+        assert locks.try_acquire(0, "a", LockMode.SHARED)
+        assert locks.is_locked(0)
+        assert locks.holds(0, "a") is LockMode.SHARED
+
+    def test_shared_compatible_with_shared(self, locks):
+        assert locks.try_acquire(0, "a", LockMode.SHARED)
+        assert locks.try_acquire(0, "b", LockMode.SHARED)
+
+    def test_exclusive_blocks_everyone(self, locks):
+        assert locks.try_acquire(0, "a", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire(0, "b", LockMode.SHARED)
+        assert not locks.try_acquire(0, "b", LockMode.EXCLUSIVE)
+        assert locks.is_exclusively_locked(0)
+
+    def test_shared_blocks_exclusive(self, locks):
+        locks.try_acquire(0, "a", LockMode.SHARED)
+        assert not locks.try_acquire(0, "b", LockMode.EXCLUSIVE)
+
+    def test_segments_independent(self, locks):
+        locks.try_acquire(0, "a", LockMode.EXCLUSIVE)
+        assert locks.try_acquire(1, "b", LockMode.EXCLUSIVE)
+
+    def test_reentrant_same_mode(self, locks):
+        locks.try_acquire(0, "a", LockMode.SHARED)
+        assert locks.try_acquire(0, "a", LockMode.SHARED)
+
+    def test_upgrade_sole_holder(self, locks):
+        locks.try_acquire(0, "a", LockMode.SHARED)
+        assert locks.try_acquire(0, "a", LockMode.EXCLUSIVE)
+        assert locks.is_exclusively_locked(0)
+
+    def test_upgrade_with_other_holders_fails(self, locks):
+        locks.try_acquire(0, "a", LockMode.SHARED)
+        locks.try_acquire(0, "b", LockMode.SHARED)
+        with pytest.raises(LockError):
+            locks.try_acquire(0, "a", LockMode.EXCLUSIVE)
+
+
+class TestRelease:
+    def test_release_frees(self, locks):
+        locks.try_acquire(0, "a", LockMode.EXCLUSIVE)
+        locks.release(0, "a")
+        assert not locks.is_locked(0)
+        assert locks.try_acquire(0, "b", LockMode.EXCLUSIVE)
+
+    def test_release_unheld_raises(self, locks):
+        with pytest.raises(LockError):
+            locks.release(0, "a")
+        locks.try_acquire(0, "a", LockMode.SHARED)
+        with pytest.raises(LockError):
+            locks.release(0, "b")
+
+    def test_release_all(self, locks):
+        locks.try_acquire(0, "a", LockMode.SHARED)
+        locks.try_acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.try_acquire(2, "b", LockMode.SHARED)
+        assert locks.release_all("a") == 2
+        assert not locks.is_locked(0)
+        assert locks.is_locked(2)
+
+    def test_reset(self, locks):
+        locks.try_acquire(0, "a", LockMode.EXCLUSIVE)
+        locks.reset()
+        assert not locks.is_locked(0)
+
+
+class TestWaiting:
+    def test_waiter_granted_on_release(self, locks):
+        granted = []
+        locks.try_acquire(0, "ckpt", LockMode.SHARED)
+        ok = locks.acquire_or_wait(0, "txn", LockMode.EXCLUSIVE,
+                                   lambda: granted.append("txn"))
+        assert not ok
+        assert granted == []
+        locks.release(0, "ckpt")
+        assert granted == ["txn"]
+        assert locks.holds(0, "txn") is LockMode.EXCLUSIVE
+
+    def test_fifo_no_overtaking(self, locks):
+        order = []
+        locks.try_acquire(0, "x", LockMode.SHARED)
+        locks.acquire_or_wait(0, "w1", LockMode.EXCLUSIVE,
+                              lambda: order.append("w1"))
+        # A later shared request must not jump the queued exclusive one.
+        ok = locks.acquire_or_wait(0, "w2", LockMode.SHARED,
+                                   lambda: order.append("w2"))
+        assert not ok
+        locks.release(0, "x")
+        assert order == ["w1"]  # w2 still behind the exclusive holder
+        locks.release(0, "w1")
+        assert order == ["w1", "w2"]
+
+    def test_multiple_shared_waiters_granted_together(self, locks):
+        order = []
+        locks.try_acquire(0, "x", LockMode.EXCLUSIVE)
+        locks.acquire_or_wait(0, "r1", LockMode.SHARED, lambda: order.append("r1"))
+        locks.acquire_or_wait(0, "r2", LockMode.SHARED, lambda: order.append("r2"))
+        locks.release(0, "x")
+        assert order == ["r1", "r2"]
+
+    def test_immediate_grant_returns_true(self, locks):
+        assert locks.acquire_or_wait(0, "a", LockMode.SHARED)
+
+    def test_wait_statistics(self, locks):
+        locks.try_acquire(0, "a", LockMode.EXCLUSIVE)
+        locks.acquire_or_wait(0, "b", LockMode.SHARED)
+        assert locks.waits == 1
+        assert locks.acquisitions == 1
+        locks.release(0, "a")
+        assert locks.acquisitions == 2
+
+    def test_reentrant_release_from_grant_callback(self, locks):
+        """A grant callback that immediately releases must not corrupt state.
+
+        This is the transaction manager's pattern: it queues only to learn
+        when the checkpointer's lock goes away, then gives the slot back.
+        """
+        locks.try_acquire(0, "ckpt", LockMode.SHARED)
+
+        def granted() -> None:
+            locks.release(0, "txn")
+
+        locks.acquire_or_wait(0, "txn", LockMode.EXCLUSIVE, granted)
+        locks.release(0, "ckpt")  # must not raise
+        assert not locks.is_locked(0)
+        assert locks.try_acquire(0, "other", LockMode.EXCLUSIVE)
+
+
+class TestDowngrade:
+    def test_downgrade_exclusive_to_shared(self, locks):
+        locks.try_acquire(0, "ckpt", LockMode.EXCLUSIVE)
+        locks.downgrade(0, "ckpt")
+        assert locks.holds(0, "ckpt") is LockMode.SHARED
+        assert locks.try_acquire(0, "reader", LockMode.SHARED)
+
+    def test_downgrade_grants_compatible_waiters(self, locks):
+        order = []
+        locks.try_acquire(0, "ckpt", LockMode.EXCLUSIVE)
+        locks.acquire_or_wait(0, "r", LockMode.SHARED, lambda: order.append("r"))
+        locks.downgrade(0, "ckpt")
+        assert order == ["r"]
+
+    def test_downgrade_without_exclusive_raises(self, locks):
+        with pytest.raises(LockError):
+            locks.downgrade(0, "a")
+        locks.try_acquire(0, "a", LockMode.SHARED)
+        with pytest.raises(LockError):
+            locks.downgrade(0, "a")

@@ -1,0 +1,235 @@
+"""Tests for media failures and archival dumps (paper Section 2.7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.helpers import build_system
+from repro.errors import (
+    ConfigurationError,
+    InvalidStateError,
+    RecoveryError,
+)
+from repro.params import SystemParameters
+from repro.storage.archive import ArchiveManager, TapeDevice
+from repro.storage.backup import BackupStore
+from repro.wal.log import LogManager
+from repro.wal.records import MediaFailureRecord
+
+
+class TestBackupMediaFailure:
+    def test_failure_wipes_image(self, tiny_params):
+        store = BackupStore(tiny_params)
+        image = store.acquire_image_for_checkpoint(1)
+        data = np.ones(tiny_params.records_per_segment, dtype=np.int64)
+        image.write_segment(0, data, flush_time=1.0)
+        image.complete_checkpoint(1, began_at=0.0)
+        store.media_failure(0)
+        assert not image.is_complete
+        assert not image.segment_present.any()
+        assert image.needs_segment(0, 0.0)
+
+    def test_cannot_fail_image_mid_write(self, tiny_params):
+        store = BackupStore(tiny_params)
+        store.acquire_image_for_checkpoint(1)  # image 0 now active
+        with pytest.raises(InvalidStateError):
+            store.media_failure(0)
+
+    def test_sibling_unaffected(self, tiny_params):
+        store = BackupStore(tiny_params)
+        first = store.acquire_image_for_checkpoint(1)
+        first.complete_checkpoint(1, began_at=0.0)
+        store.media_failure(1)
+        assert store.latest_complete_image() is first
+
+
+class TestLogMediaFailureRecords:
+    def test_failed_image_checkpoints_skipped(self, tiny_params):
+        log = LogManager(tiny_params)
+        log.append_begin_checkpoint(1, 1, (), image=0)
+        log.append_end_checkpoint(1, image=0)
+        log.append_begin_checkpoint(2, 2, (), image=1)
+        log.append_end_checkpoint(2, image=1)
+        log.append_media_failure(1)  # image 1 (checkpoint 2) destroyed
+        log.flush()
+        found = log.find_last_completed_checkpoint()
+        assert found is not None
+        begin, _ = found
+        assert begin.checkpoint_id == 1 and begin.image == 0
+
+    def test_checkpoint_after_failure_usable(self, tiny_params):
+        log = LogManager(tiny_params)
+        log.append_media_failure(1)
+        log.append_begin_checkpoint(5, 1, (), image=1)  # image rewritten
+        log.append_end_checkpoint(5, image=1)
+        log.flush()
+        found = log.find_last_completed_checkpoint()
+        assert found is not None
+        assert found[0].checkpoint_id == 5
+
+    def test_all_images_failed_means_no_checkpoint(self, tiny_params):
+        log = LogManager(tiny_params)
+        log.append_begin_checkpoint(1, 1, (), image=0)
+        log.append_end_checkpoint(1, image=0)
+        log.append_media_failure(0)
+        log.flush()
+        assert log.find_last_completed_checkpoint() is None
+
+    def test_record_size(self, tiny_params):
+        log = LogManager(tiny_params)
+        record = log.append_media_failure(0)
+        assert isinstance(record, MediaFailureRecord)
+        assert log.record_size_words(record) == tiny_params.s_log_commit
+
+
+class TestSimulatedMediaFailure:
+    def test_system_survives_media_failure(self, small_params):
+        system = build_system(small_params, "FUZZYCOPY", seed=51)
+        system.run(2.0)
+        victim = system.backup.latest_complete_image()
+        assert victim is not None
+        # Fail the image no checkpoint is currently writing.
+        if victim.active_checkpoint_id is not None:
+            victim = system.backup.images[1 - victim.index]
+        system.media_failure(victim.index)
+        system.run(2.0)  # ping-pong rewrites the lost image in full
+        system.crash()
+        system.recover()
+        assert system.verify_recovery() == []
+
+    def test_crash_right_after_media_failure(self, small_params):
+        """The nastiest window: one image just died, then power fails."""
+        system = build_system(small_params, "COUCOPY", seed=52)
+        system.run(2.0)
+        # Wait for an idle instant so neither image is being written.
+        for _ in range(500000):
+            if not system.checkpointer.active:
+                break
+            system.engine.run(max_events=1)
+        victim = system.backup.latest_complete_image()
+        assert victim is not None
+        system.media_failure(victim.index)
+        system.crash()
+        result = system.recover()
+        assert system.verify_recovery() == []
+        if result.used_checkpoint_id is not None:
+            used = system.backup.image(result.used_image)
+            assert used.index != victim.index
+
+
+class TestTapeDevice:
+    def test_transfer_time(self):
+        tape = TapeDevice(mount_time=10.0, words_per_second=1000.0)
+        assert tape.transfer_time(5000) == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TapeDevice(mount_time=-1)
+        with pytest.raises(ConfigurationError):
+            TapeDevice(words_per_second=0)
+        with pytest.raises(ConfigurationError):
+            TapeDevice().transfer_time(-1)
+
+
+class TestArchiveManager:
+    def _store_with_checkpoint(self, params: SystemParameters):
+        store = BackupStore(params)
+        image = store.acquire_image_for_checkpoint(3)
+        data = np.full(params.records_per_segment, 7, dtype=np.int64)
+        for index in range(params.n_segments):
+            image.write_segment(index, data, flush_time=2.0)
+        image.complete_checkpoint(3, began_at=1.0)
+        return store, image
+
+    def test_dump_and_restore_round_trip(self, tiny_params):
+        store, image = self._store_with_checkpoint(tiny_params)
+        archive = ArchiveManager(tiny_params)
+        dumped = archive.dump(image)
+        assert dumped.checkpoint_id == 3
+        assert archive.archived_checkpoint_ids == (3,)
+        # The image is then destroyed...
+        store.media_failure(image.index)
+        assert not image.is_complete
+        # ...and resurrected from tape.
+        restore_time = archive.restore(dumped, image)
+        assert restore_time > 0
+        assert image.completed_checkpoint_id == 3
+        assert image.read_segment(0)[0] == 7
+
+    def test_dump_is_a_snapshot(self, tiny_params):
+        _, image = self._store_with_checkpoint(tiny_params)
+        archive = ArchiveManager(tiny_params)
+        dumped = archive.dump(image)
+        image.values[:] = 0  # later checkpoints overwrite the image
+        assert dumped.values[0] == 7
+
+    def test_cannot_dump_incomplete_image(self, tiny_params):
+        store = BackupStore(tiny_params)
+        image = store.image(0)
+        archive = ArchiveManager(tiny_params)
+        with pytest.raises(InvalidStateError):
+            archive.dump(image)
+
+    def test_cannot_dump_or_restore_active_image(self, tiny_params):
+        store, image = self._store_with_checkpoint(tiny_params)
+        archive = ArchiveManager(tiny_params)
+        dumped = archive.dump(image)
+        image.begin_checkpoint(4)
+        with pytest.raises(InvalidStateError):
+            archive.dump(image)
+        with pytest.raises(InvalidStateError):
+            archive.restore(dumped, image)
+
+    def test_latest_and_get(self, tiny_params):
+        store, image = self._store_with_checkpoint(tiny_params)
+        archive = ArchiveManager(tiny_params)
+        assert archive.latest() is None
+        dumped = archive.dump(image)
+        assert archive.latest() is dumped
+        assert archive.get(3) is dumped
+        with pytest.raises(RecoveryError):
+            archive.get(99)
+
+    def test_tape_accounting(self, tiny_params):
+        _, image = self._store_with_checkpoint(tiny_params)
+        archive = ArchiveManager(tiny_params)
+        archive.dump(image)
+        assert archive.tape.dumps == 1
+        assert archive.tape.words_written == tiny_params.s_db
+
+
+class TestArchiveRecoveryEndToEnd:
+    def test_double_media_failure_recovered_from_tape(self, small_params):
+        """Both backup images die; the tape dump plus the untruncated log
+        still reconstruct the committed state."""
+        system = build_system(small_params, "FUZZYCOPY", seed=53,
+                              truncate_log=False)
+        system.run(2.0)
+        # Quiet moment: no checkpoint writing either image.
+        for _ in range(500000):
+            if not system.checkpointer.active:
+                break
+            system.engine.run(max_events=1)
+        victim = system.backup.latest_complete_image()
+        assert victim is not None
+        archive = ArchiveManager(small_params)
+        dumped = archive.dump(victim)
+        system.run(2.0)
+        for _ in range(500000):
+            if not system.checkpointer.active:
+                break
+            system.engine.run(max_events=1)
+        # Catastrophe: both images die, then the system crashes.
+        system.media_failure(0)
+        system.media_failure(1)
+        system.crash()
+        # Repair: restore the archived image before recovery.  The
+        # media-restore record makes the dumped checkpoint's original
+        # markers usable again, so replay starts at its original begin --
+        # exactly where the tape's data is from.
+        system.restore_from_archive(archive)
+        result = system.recover()
+        assert result.used_image == dumped.image_index
+        assert result.used_checkpoint_id == dumped.checkpoint_id
+        assert system.verify_recovery() == []

@@ -1,0 +1,191 @@
+"""Tests for the in-memory database substrate: segments, database, shadow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError, InvalidStateError
+from repro.mmdb.database import Database
+from repro.mmdb.shadow import ShadowBuffer
+from repro.params import SystemParameters
+
+
+@pytest.fixture
+def db(tiny_params: SystemParameters) -> Database:
+    return Database(tiny_params)
+
+
+class TestAddressing:
+    def test_shape(self, db, tiny_params):
+        assert db.n_segments == tiny_params.n_segments
+        assert db.n_records == tiny_params.n_records
+        assert len(db) == db.n_segments
+
+    def test_segment_of_first_and_last_record(self, db):
+        assert db.segment_index_of(0) == 0
+        assert db.segment_index_of(db.n_records - 1) == db.n_segments - 1
+
+    def test_segment_boundaries(self, db):
+        rps = db.records_per_segment
+        assert db.segment_index_of(rps - 1) == 0
+        assert db.segment_index_of(rps) == 1
+
+    def test_record_out_of_range(self, db):
+        with pytest.raises(AddressError):
+            db.read_record(db.n_records)
+        with pytest.raises(AddressError):
+            db.read_record(-1)
+
+    def test_segment_out_of_range(self, db):
+        with pytest.raises(AddressError):
+            db.segment(db.n_segments)
+
+    def test_segment_record_range(self, db):
+        seg = db.segment(1)
+        assert seg.record_range == range(db.records_per_segment,
+                                         2 * db.records_per_segment)
+
+
+class TestInstall:
+    def test_read_after_install(self, db):
+        db.install_record(7, 1234, timestamp=5, lsn=10)
+        assert db.read_record(7) == 1234
+
+    def test_install_sets_dirty(self, db):
+        seg = db.segment_of(7)
+        assert not seg.dirty
+        db.install_record(7, 1, timestamp=1, lsn=1)
+        assert seg.dirty
+
+    def test_install_advances_timestamp_monotonically(self, db):
+        db.install_record(7, 1, timestamp=5, lsn=1)
+        db.install_record(7, 2, timestamp=3, lsn=2)  # older stamp
+        assert db.segment_of(7).timestamp == 5
+
+    def test_install_advances_lsn_monotonically(self, db):
+        db.install_record(7, 1, timestamp=1, lsn=10)
+        db.install_record(8, 2, timestamp=2, lsn=4)
+        assert db.segment_of(7).lsn == 10
+
+    def test_initial_values_zero(self, db):
+        assert db.read_record(0) == 0
+        assert not db.values_snapshot().any()
+
+
+class TestBulkOperations:
+    def test_dirty_segments_iteration(self, db):
+        rps = db.records_per_segment
+        db.install_record(0, 1, timestamp=1, lsn=1)
+        db.install_record(3 * rps, 1, timestamp=1, lsn=2)
+        dirty = [s.index for s in db.dirty_segments()]
+        assert dirty == [0, 3]
+
+    def test_wipe_clears_everything(self, db):
+        db.install_record(0, 99, timestamp=1, lsn=1)
+        db.segment(0).painted_black = True
+        db.segment(0).save_old_copy()
+        db.wipe()
+        assert db.read_record(0) == 0
+        seg = db.segment(0)
+        assert not seg.dirty and not seg.painted_black
+        assert seg.old_copy is None and seg.lsn == 0
+
+    def test_values_snapshot_is_independent(self, db):
+        snap = db.values_snapshot()
+        db.install_record(0, 42, timestamp=1, lsn=1)
+        assert snap[0] == 0
+
+    def test_load_values(self, db):
+        values = np.arange(db.n_records, dtype=np.int64)
+        db.load_values(values)
+        assert db.read_record(5) == 5
+
+    def test_load_values_shape_checked(self, db):
+        with pytest.raises(AddressError):
+            db.load_values(np.zeros(3, dtype=np.int64))
+
+    def test_state_digest_changes_with_content(self, db):
+        before = db.state_digest()
+        db.install_record(0, 1, timestamp=1, lsn=1)
+        assert db.state_digest() != before
+
+    def test_equals_and_differing(self, db):
+        other = db.values_snapshot()
+        assert db.equals_values(other)
+        db.install_record(4, 7, timestamp=1, lsn=1)
+        assert not db.equals_values(other)
+        assert db.differing_records(other) == [4]
+
+
+class TestSegmentOldCopies:
+    def test_save_captures_pre_update_data_and_stamps(self, db):
+        db.install_record(0, 11, timestamp=3, lsn=9)
+        seg = db.segment(0)
+        copy = seg.save_old_copy()
+        assert copy[0] == 11
+        assert seg.old_copy_timestamp == 3
+        assert seg.old_copy_lsn == 9
+        db.install_record(0, 22, timestamp=4, lsn=10)
+        assert seg.old_copy[0] == 11  # snapshot unaffected by later update
+
+    def test_double_save_rejected(self, db):
+        seg = db.segment(0)
+        seg.save_old_copy()
+        with pytest.raises(InvalidStateError):
+            seg.save_old_copy()
+
+    def test_drop_resets(self, db):
+        seg = db.segment(0)
+        seg.save_old_copy()
+        seg.drop_old_copy()
+        assert seg.old_copy is None
+        assert seg.old_copy_lsn == 0
+
+    def test_load_data_shape_checked(self, db):
+        with pytest.raises(InvalidStateError):
+            db.segment(0).load_data(np.zeros(1, dtype=np.int64))
+
+    def test_data_view_is_live(self, db):
+        seg = db.segment(0)
+        view = seg.data()
+        db.install_record(0, 5, timestamp=1, lsn=1)
+        assert view[0] == 5
+
+    def test_copy_data_is_snapshot(self, db):
+        seg = db.segment(0)
+        copy = seg.copy_data()
+        db.install_record(0, 5, timestamp=1, lsn=1)
+        assert copy[0] == 0
+
+
+class TestShadowBuffer:
+    def test_stage_and_read_own_writes(self):
+        shadow = ShadowBuffer()
+        shadow.stage(3, 30)
+        assert shadow.staged_value(3) == 30
+        assert shadow.staged_value(4) is None
+
+    def test_later_write_wins(self):
+        shadow = ShadowBuffer()
+        shadow.stage(3, 30)
+        shadow.stage(3, 31)
+        assert shadow.staged_value(3) == 31
+        assert len(shadow) == 1
+
+    def test_iteration_in_insertion_order(self):
+        shadow = ShadowBuffer()
+        shadow.stage(5, 50)
+        shadow.stage(2, 20)
+        assert list(shadow) == [(5, 50), (2, 20)]
+        assert shadow.record_ids == (5, 2)
+
+    def test_install_seals_buffer(self):
+        shadow = ShadowBuffer()
+        shadow.stage(1, 10)
+        shadow.mark_installed()
+        assert shadow.installed
+        with pytest.raises(InvalidStateError):
+            shadow.stage(2, 20)
+        with pytest.raises(InvalidStateError):
+            shadow.mark_installed()

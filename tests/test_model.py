@@ -1,0 +1,339 @@
+"""Tests for the analytic model: dirtying, durations, restarts, overhead,
+recovery time, and the evaluate() entry point."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.checkpoint.base import CheckpointScope
+from repro.errors import ConfigurationError
+from repro.model.dirtying import (
+    copy_fraction,
+    dirty_fraction,
+    expected_cou_copies,
+    expected_dirty_segments,
+)
+from repro.model.duration import (
+    flush_time,
+    minimum_duration,
+    resolve_durations,
+    segments_to_flush,
+)
+from repro.model.evaluate import ModelOptions, evaluate, evaluate_all
+from repro.model.overhead import compute_overhead
+from repro.model.recovery_time import (
+    compute_recovery_time,
+    log_words_per_transaction,
+)
+from repro.model.restarts import (
+    abort_probability,
+    conflict_probability,
+    expected_reruns,
+    sweep_average_conflict,
+)
+
+
+class TestDirtying:
+    def test_dirty_fraction_limits(self, paper_params):
+        assert dirty_fraction(paper_params, 0.0) == 0.0
+        assert dirty_fraction(paper_params, 1e9) == pytest.approx(1.0)
+
+    def test_dirty_fraction_formula(self, paper_params):
+        u = paper_params.segment_update_rate
+        assert dirty_fraction(paper_params, 10.0) == pytest.approx(
+            1 - math.exp(-10 * u))
+
+    def test_expected_dirty_matches_params_helper(self, paper_params):
+        assert expected_dirty_segments(paper_params, 50.0) == pytest.approx(
+            paper_params.expected_dirty_segments(50.0))
+
+    def test_copy_fraction_limits(self, paper_params):
+        assert copy_fraction(paper_params, 0.0) == 0.0
+        assert copy_fraction(paper_params, 1e9) == pytest.approx(1.0)
+
+    def test_copy_fraction_small_duration_taylor(self, paper_params):
+        u = paper_params.segment_update_rate
+        t = 1e-10
+        assert copy_fraction(paper_params, t) == pytest.approx(u * t / 2)
+
+    def test_copy_fraction_below_dirty_fraction(self, paper_params):
+        # A segment must be updated *before its dump time* to be copied,
+        # which is harder than being updated at all during the sweep.
+        for t in (1.0, 10.0, 100.0):
+            assert (copy_fraction(paper_params, t)
+                    < dirty_fraction(paper_params, t))
+
+    def test_expected_cou_copies_at_defaults(self, paper_params):
+        t = minimum_duration(paper_params)
+        copies = expected_cou_copies(paper_params, t)
+        # At the default load nearly every segment is updated before its
+        # dump: the fraction is high but strictly below 1.
+        assert 0.8 * paper_params.n_segments < copies < paper_params.n_segments
+
+    def test_negative_inputs_rejected(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            dirty_fraction(paper_params, -1)
+        with pytest.raises(ConfigurationError):
+            copy_fraction(paper_params, -1)
+
+
+class TestDuration:
+    def test_full_min_duration_is_full_checkpoint_time(self, paper_params):
+        assert minimum_duration(
+            paper_params, CheckpointScope.FULL) == pytest.approx(
+                paper_params.full_checkpoint_time)
+
+    def test_partial_min_duration_close_to_full_at_default_load(
+            self, paper_params):
+        t = minimum_duration(paper_params)
+        # Default load dirties essentially everything within one cycle.
+        assert 0.95 * paper_params.full_checkpoint_time < t
+        assert t <= paper_params.full_checkpoint_time
+
+    def test_min_duration_fixed_point_property(self, paper_params):
+        t = minimum_duration(paper_params)
+        n_flush = segments_to_flush(paper_params, CheckpointScope.PARTIAL,
+                                    t, 2.0)
+        assert flush_time(paper_params, n_flush) == pytest.approx(t, rel=1e-6)
+
+    def test_min_duration_shrinks_at_low_load(self, paper_params):
+        light = paper_params.replace(lam=10.0)
+        assert minimum_duration(light) < minimum_duration(paper_params) / 10
+
+    def test_min_duration_floor(self, paper_params):
+        idle = paper_params.replace(lam=1e-6)
+        floor = paper_params.segment_io_time / paper_params.n_bdisks
+        assert minimum_duration(idle) == pytest.approx(floor)
+
+    def test_more_disks_shorter_minimum(self, paper_params):
+        fast = paper_params.replace(n_bdisks=40)
+        assert minimum_duration(fast) < minimum_duration(paper_params)
+
+    def test_resolve_min_policy(self, paper_params):
+        d = resolve_durations(paper_params, None)
+        assert d.interval == pytest.approx(minimum_duration(paper_params))
+        assert d.active == pytest.approx(d.interval)
+        assert d.active_fraction == pytest.approx(1.0)
+
+    def test_resolve_fixed_interval(self, paper_params):
+        d = resolve_durations(paper_params, 300.0)
+        assert d.interval == 300.0
+        assert d.active < 300.0
+        assert d.active_fraction < 1.0
+
+    def test_interval_below_minimum_stretches(self, paper_params):
+        minimum = minimum_duration(paper_params)
+        d = resolve_durations(paper_params, minimum / 10)
+        assert d.interval == pytest.approx(minimum)
+
+    def test_bad_interval_rejected(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            resolve_durations(paper_params, -5.0)
+
+    def test_dirty_window_option(self, paper_params):
+        light = paper_params.replace(lam=5.0)
+        one = resolve_durations(light, 10.0, dirty_window_intervals=1.0)
+        two = resolve_durations(light, 10.0, dirty_window_intervals=2.0)
+        assert one.segments_flushed < two.segments_flushed
+
+
+class TestRestarts:
+    def test_conflict_probability_boundaries(self):
+        assert conflict_probability(0.0, 5) == 0.0
+        assert conflict_probability(1.0, 5) == 0.0
+
+    def test_conflict_probability_midpoint(self):
+        # 1 - 2 * 0.5^5 = 0.9375
+        assert conflict_probability(0.5, 5) == pytest.approx(0.9375)
+
+    def test_sweep_average_closed_form(self):
+        assert sweep_average_conflict(5) == pytest.approx(1 - 2 / 6)
+        assert sweep_average_conflict(1) == 0.0
+
+    def test_sweep_average_matches_numeric_integral(self):
+        k = 5
+        steps = 20000
+        numeric = sum(conflict_probability((i + 0.5) / steps, k)
+                      for i in range(steps)) / steps
+        assert sweep_average_conflict(k) == pytest.approx(numeric, rel=1e-4)
+
+    def test_abort_probability_scales_with_active_fraction(self):
+        full = abort_probability(1.0, 5)
+        half = abort_probability(0.5, 5)
+        assert half == pytest.approx(full / 2)
+
+    def test_expected_reruns_geometric(self):
+        assert expected_reruns(0.0) == 0.0
+        assert expected_reruns(2 / 3) == pytest.approx(2.0)
+        assert expected_reruns(0.5) == pytest.approx(1.0)
+
+    def test_expected_reruns_capped(self):
+        assert expected_reruns(1.0) == pytest.approx(1e6)
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            conflict_probability(1.5, 5)
+        with pytest.raises(ConfigurationError):
+            conflict_probability(0.5, 0)
+        with pytest.raises(ConfigurationError):
+            abort_probability(-0.1, 5)
+        with pytest.raises(ConfigurationError):
+            expected_reruns(1.2)
+
+
+class TestOverhead:
+    def _durations(self, params, interval=None):
+        return resolve_durations(params, interval)
+
+    def test_unknown_algorithm_rejected(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            compute_overhead("NOPE", paper_params,
+                             self._durations(paper_params))
+
+    def test_fastfuzzy_requires_stable_tail(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            compute_overhead("FASTFUZZY", paper_params,
+                             self._durations(paper_params))
+
+    def test_two_color_dominated_by_reruns_at_min_duration(self, paper_params):
+        result = compute_overhead("2CCOPY", paper_params,
+                                  self._durations(paper_params))
+        assert result.reruns_per_txn == pytest.approx(2.0)
+        assert result.sync_per_txn["reruns"] == pytest.approx(50000.0)
+        assert (result.sync_per_txn["reruns"]
+                > 0.8 * result.overhead_per_txn)
+
+    def test_cou_no_costlier_than_fuzzy(self, paper_params):
+        """The paper's headline: COU produces a TC backup for about the
+        cost of a fuzzy one."""
+        durations = self._durations(paper_params)
+        fuzzy = compute_overhead("FUZZYCOPY", paper_params, durations)
+        for algorithm in ("COUFLUSH", "COUCOPY"):
+            cou = compute_overhead(algorithm, paper_params, durations)
+            assert cou.overhead_per_txn <= 1.10 * fuzzy.overhead_per_txn
+
+    def test_fastfuzzy_costs_a_few_hundred(self, paper_params):
+        params = paper_params.replace(stable_log_tail=True)
+        result = compute_overhead("FASTFUZZY", params,
+                                  self._durations(params))
+        assert 100 < result.overhead_per_txn < 1000
+
+    def test_lsn_costs_disappear_with_stable_tail(self, paper_params):
+        volatile = compute_overhead("FUZZYCOPY", paper_params,
+                                    self._durations(paper_params))
+        stable_params = paper_params.replace(stable_log_tail=True)
+        stable = compute_overhead("FUZZYCOPY", stable_params,
+                                  self._durations(stable_params))
+        assert "lsn_maintenance" in volatile.sync_per_txn
+        assert "lsn_maintenance" not in stable.sync_per_txn
+        assert stable.overhead_per_txn < volatile.overhead_per_txn
+
+    def test_no_aborts_outside_two_color(self, paper_params):
+        durations = self._durations(paper_params)
+        for algorithm in ("FUZZYCOPY", "COUFLUSH", "COUCOPY"):
+            result = compute_overhead(algorithm, paper_params, durations)
+            assert result.abort_probability == 0.0
+            assert result.reruns_per_txn == 0.0
+
+    def test_2cflush_cheapest_flush_path(self, paper_params):
+        durations = self._durations(paper_params)
+        flush = compute_overhead("2CFLUSH", paper_params, durations)
+        copy = compute_overhead("2CCOPY", paper_params, durations)
+        assert (flush.async_per_checkpoint["flushes"]
+                < copy.async_per_checkpoint["flushes"])
+
+    def test_longer_interval_lowers_overhead(self, paper_params):
+        short = compute_overhead("COUCOPY", paper_params,
+                                 self._durations(paper_params))
+        long = compute_overhead("COUCOPY", paper_params,
+                                self._durations(paper_params, 600.0))
+        assert long.overhead_per_txn < short.overhead_per_txn
+
+    def test_full_scope_drops_dirty_checks(self, paper_params):
+        durations = self._durations(paper_params)
+        partial = compute_overhead("FUZZYCOPY", paper_params, durations,
+                                   CheckpointScope.PARTIAL)
+        full = compute_overhead("FUZZYCOPY", paper_params, durations,
+                                CheckpointScope.FULL)
+        assert "dirty_checks" in partial.async_per_checkpoint
+        assert "dirty_checks" not in full.async_per_checkpoint
+
+
+class TestRecoveryTimeModel:
+    def test_backup_read_dominates_at_defaults(self, paper_params):
+        result = compute_recovery_time(
+            paper_params, resolve_durations(paper_params, None))
+        assert result.backup_read_time == pytest.approx(
+            paper_params.full_checkpoint_time)
+        assert result.backup_read_time > result.log_read_time
+
+    def test_reruns_inflate_log(self, paper_params):
+        base = log_words_per_transaction(paper_params, 0.0)
+        inflated = log_words_per_transaction(paper_params, 2.0)
+        assert inflated > base
+        per_abort = (paper_params.n_ru
+                     * (paper_params.s_rec + paper_params.s_log_header)
+                     + paper_params.s_log_commit)
+        assert inflated == pytest.approx(base + 2 * per_abort)
+
+    def test_longer_interval_longer_recovery(self, paper_params):
+        short = compute_recovery_time(
+            paper_params, resolve_durations(paper_params, None))
+        long = compute_recovery_time(
+            paper_params, resolve_durations(paper_params, 600.0))
+        assert long.total > short.total
+
+    def test_span_option(self, paper_params):
+        durations = resolve_durations(paper_params, None)
+        avg = compute_recovery_time(paper_params, durations,
+                                    log_span_intervals=1.5)
+        worst = compute_recovery_time(paper_params, durations,
+                                      log_span_intervals=2.0)
+        assert worst.log_words == pytest.approx(avg.log_words * 4 / 3)
+
+    def test_validation(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            log_words_per_transaction(paper_params, -1)
+        with pytest.raises(ConfigurationError):
+            compute_recovery_time(
+                paper_params, resolve_durations(paper_params, None),
+                log_span_intervals=-1)
+
+
+class TestEvaluate:
+    def test_summary_fields(self, paper_params):
+        result = evaluate("COUCOPY", paper_params)
+        summary = result.summary()
+        for key in ("overhead_per_txn", "recovery_time", "interval",
+                    "abort_probability", "reruns_per_txn"):
+            assert key in summary
+
+    def test_headline_properties_consistent(self, paper_params):
+        result = evaluate("2CCOPY", paper_params)
+        assert result.overhead_per_txn == pytest.approx(
+            result.overhead.overhead_per_txn)
+        assert result.recovery_time == pytest.approx(result.recovery.total)
+
+    def test_evaluate_all_skips_fastfuzzy_without_stable_tail(
+            self, paper_params):
+        names = [r.algorithm for r in evaluate_all(paper_params)]
+        assert "FASTFUZZY" not in names
+        assert len(names) == 5
+
+    def test_evaluate_all_includes_fastfuzzy_with_stable_tail(
+            self, paper_params):
+        params = paper_params.replace(stable_log_tail=True)
+        names = [r.algorithm for r in evaluate_all(params)]
+        assert "FASTFUZZY" in names
+        assert len(names) == 6
+
+    def test_case_insensitive(self, paper_params):
+        assert evaluate("coucopy", paper_params).algorithm == "COUCOPY"
+
+    def test_options_threaded_through(self, paper_params):
+        options = ModelOptions(log_span_intervals=2.0)
+        worst = evaluate("FUZZYCOPY", paper_params, options=options)
+        avg = evaluate("FUZZYCOPY", paper_params)
+        assert worst.recovery_time > avg.recovery_time

@@ -1,0 +1,104 @@
+"""Monotonicity and sensitivity properties of the analytic model.
+
+Directional sanity: when a price or a load knob moves, the model's
+outputs must move the way physics says -- across random configurations,
+not just the defaults.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.ascii_plot import AsciiPlot
+from repro.model.evaluate import evaluate
+from repro.params import SystemParameters
+
+base_params = st.builds(
+    SystemParameters,
+    s_db=st.sampled_from([8192 * 64, 8192 * 256]),
+    lam=st.floats(min_value=20.0, max_value=3000.0),
+    n_ru=st.integers(min_value=2, max_value=8),
+    n_bdisks=st.sampled_from([5, 20, 40]),
+)
+
+algorithms = st.sampled_from(
+    ["FUZZYCOPY", "2CFLUSH", "2CCOPY", "COUFLUSH", "COUCOPY"])
+
+
+class TestModelMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(params=base_params, algorithm=algorithms)
+    def test_longer_interval_never_raises_overhead(self, params, algorithm):
+        short = evaluate(algorithm, params, interval=None)
+        long = evaluate(algorithm, params,
+                        interval=short.interval * 4)
+        assert long.overhead_per_txn <= short.overhead_per_txn * 1.0001
+
+    @settings(max_examples=25, deadline=None)
+    @given(params=base_params, algorithm=algorithms)
+    def test_longer_interval_never_shortens_recovery(self, params, algorithm):
+        short = evaluate(algorithm, params, interval=None)
+        long = evaluate(algorithm, params, interval=short.interval * 4)
+        assert long.recovery_time >= short.recovery_time * 0.9999
+
+    @settings(max_examples=25, deadline=None)
+    @given(params=base_params, algorithm=algorithms)
+    def test_more_disks_never_lengthen_recovery(self, params, algorithm):
+        few = evaluate(algorithm, params)
+        many = evaluate(algorithm, params.replace(
+            n_bdisks=params.n_bdisks * 2))
+        assert many.recovery_time <= few.recovery_time * 1.0001
+
+    @settings(max_examples=25, deadline=None)
+    @given(params=base_params, algorithm=algorithms)
+    def test_costlier_io_never_cheapens_overhead(self, params, algorithm):
+        cheap = evaluate(algorithm, params)
+        dear = evaluate(algorithm, params.replace(c_io=params.c_io * 4))
+        assert dear.overhead_per_txn >= cheap.overhead_per_txn * 0.9999
+
+    @settings(max_examples=25, deadline=None)
+    @given(params=base_params)
+    def test_rerun_cost_scales_with_c_trans(self, params):
+        small = evaluate("2CCOPY", params)
+        big = evaluate("2CCOPY", params.replace(c_trans=params.c_trans * 2))
+        small_rerun = small.overhead.sync_per_txn["reruns"]
+        big_rerun = big.overhead.sync_per_txn["reruns"]
+        assert big_rerun >= 1.99 * small_rerun
+
+    @settings(max_examples=25, deadline=None)
+    @given(params=base_params, algorithm=algorithms)
+    def test_outputs_finite_and_positive(self, params, algorithm):
+        result = evaluate(algorithm, params)
+        assert 0 < result.overhead_per_txn < 1e12
+        assert 0 < result.recovery_time < 1e7
+        assert 0 <= result.abort_probability <= 1
+
+
+class TestAsciiPlotRobustness:
+    @settings(max_examples=40, deadline=None)
+    @given(points=st.lists(
+        st.tuples(st.floats(min_value=-1e6, max_value=1e6,
+                            allow_nan=False),
+                  st.floats(min_value=-1e6, max_value=1e6,
+                            allow_nan=False)),
+        min_size=1, max_size=40))
+    def test_linear_plot_never_crashes(self, points):
+        plot = AsciiPlot()
+        plot.add_series("s", points)
+        out = plot.render()
+        assert "legend" in out
+        # Every line fits within the declared canvas + label gutter.
+        assert all(len(line) < plot.width + 30 for line in out.splitlines())
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=st.lists(
+        st.tuples(st.floats(min_value=1e-6, max_value=1e9,
+                            allow_nan=False),
+                  st.floats(min_value=1e-6, max_value=1e9,
+                            allow_nan=False)),
+        min_size=1, max_size=40))
+    def test_log_plot_never_crashes(self, points):
+        plot = AsciiPlot(log_x=True, log_y=True)
+        plot.add_series("s", points)
+        assert "legend" in plot.render()

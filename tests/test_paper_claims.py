@@ -1,0 +1,203 @@
+"""Acceptance tests: every qualitative claim of the paper's Section 4.
+
+Each test quotes the claim it checks.  Absolute magnitudes are not
+expected to match the (unpublished) original figures; the *shape* -- who
+wins, by roughly what factor, where crossovers fall -- is what these
+tests pin down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4a, fig4b, fig4c, fig4d, fig4e
+from repro.params import PAPER_DEFAULTS
+
+
+@pytest.fixture(scope="module")
+def figure4a_points():
+    return {p.algorithm: p for p in fig4a.figure4a()}
+
+
+@pytest.fixture(scope="module")
+def figure4b_curves():
+    return fig4b.figure4b(points_per_curve=8)
+
+
+@pytest.fixture(scope="module")
+def figure4c_curves():
+    return fig4c.figure4c()
+
+
+@pytest.fixture(scope="module")
+def figure4d_curves():
+    return fig4d.figure4d()
+
+
+@pytest.fixture(scope="module")
+def figure4e_points():
+    return {p.algorithm: p for p in fig4e.figure4e()}
+
+
+class TestFigure4a:
+    def test_two_color_algorithms_most_expensive(self, figure4a_points):
+        """'Most obvious is the relatively high cost of the two-color
+        checkpoint algorithms.'"""
+        others = [p.overhead_per_txn for name, p in figure4a_points.items()
+                  if not name.startswith("2C")]
+        for name in ("2CFLUSH", "2CCOPY"):
+            assert (figure4a_points[name].overhead_per_txn
+                    > 5 * max(others))
+
+    def test_rerun_cost_dominates_two_color(self, figure4a_points):
+        """'Most of the cost comes from rerunning transactions that are
+        aborted for violating the two-color restriction.'"""
+        for name in ("2CFLUSH", "2CCOPY"):
+            point = figure4a_points[name]
+            rerun_cost = point.reruns_per_txn * PAPER_DEFAULTS.c_trans
+            assert rerun_cost > 0.8 * point.overhead_per_txn
+
+    def test_cou_no_costlier_than_fuzzy(self, figure4a_points):
+        """'Generating a transaction consistent backup with a COU algorithm
+        is no more costly than generating a fuzzy backup.'"""
+        fuzzy = figure4a_points["FUZZYCOPY"].overhead_per_txn
+        for name in ("COUFLUSH", "COUCOPY"):
+            assert figure4a_points[name].overhead_per_txn <= 1.05 * fuzzy
+
+    def test_recovery_times_vary_little(self, figure4a_points):
+        """'Recovery times seem to vary little from among the algorithms.'"""
+        times = [p.recovery_time for p in figure4a_points.values()]
+        assert max(times) < 1.3 * min(times)
+
+    def test_two_color_recovery_slightly_longer(self, figure4a_points):
+        """'The slightly longer times for the two-color algorithms arises
+        from the added log bulk of transactions aborted by the two-color
+        constraints.'"""
+        fuzzy = figure4a_points["FUZZYCOPY"].recovery_time
+        for name in ("2CFLUSH", "2CCOPY"):
+            assert fuzzy < figure4a_points[name].recovery_time < 1.3 * fuzzy
+
+
+class TestFigure4b:
+    def test_duration_trades_overhead_for_recovery(self, figure4b_curves):
+        """'By increasing the checkpoint duration, it is possible to drive
+        processor overhead down at the cost of increased recovery
+        overhead.'"""
+        for curve in figure4b_curves.values():
+            overheads = [p.overhead_per_txn for p in curve]
+            assert overheads == sorted(overheads, reverse=True)
+            assert curve[-1].recovery_time > curve[0].recovery_time
+
+    def test_doubled_bandwidth_extends_curves_left(self, figure4b_curves):
+        """'The dotted lines extend further to the left ... because the
+        higher bandwidth permits a lower minimum checkpoint interval.'"""
+        for algorithm in fig4b.ALGORITHMS:
+            base = figure4b_curves[(algorithm, 20)]
+            fast = figure4b_curves[(algorithm, 40)]
+            assert fast[0].interval < base[0].interval
+            assert (min(p.recovery_time for p in fast)
+                    < min(p.recovery_time for p in base))
+
+    def test_bandwidth_helps_2ccopy_more_than_coucopy(self, figure4b_curves):
+        """'The increased bandwidth is much more beneficial to 2CCOPY than
+        to COUCOPY', via fewer two-color reruns."""
+
+        def gain(algorithm: str, interval: float) -> float:
+            def at(disks: int) -> float:
+                curve = figure4b_curves[(algorithm, disks)]
+                return min(curve,
+                           key=lambda p: abs(p.interval - interval)
+                           ).overhead_per_txn
+            return at(20) / at(40)
+
+        interval = 200.0
+        assert gain("2CCOPY", interval) > 1.5 * gain("COUCOPY", interval)
+
+
+class TestFigure4c:
+    def test_overhead_decreases_with_load(self, figure4c_curves):
+        """'The general trend is for decreasing per-transaction cost with
+        increasing load.'"""
+        for name in ("FUZZYCOPY", "COUFLUSH", "COUCOPY", "2CCOPY"):
+            points = figure4c_curves[name]
+            assert points[-1].overhead_per_txn < points[0].overhead_per_txn
+
+    def test_2cflush_cheapest_at_low_load(self, figure4c_curves):
+        """'2CFLUSH is the least costly low-load alternative...'"""
+        lowest_load = figure4c_curves["2CFLUSH"][0].lam
+        assert fig4c.cheapest_at(figure4c_curves, lowest_load) == "2CFLUSH"
+
+    def test_2cflush_among_most_costly_at_high_load(self, figure4c_curves):
+        """'...yet is one of the most costly at high loads.'"""
+        at_high = sorted(
+            ((points[-1].overhead_per_txn, name)
+             for name, points in figure4c_curves.items()),
+            reverse=True)
+        top_two = {name for _, name in at_high[:2]}
+        assert "2CFLUSH" in top_two
+
+    def test_copying_expensive_at_low_load(self, figure4c_curves):
+        """'Segment copying is expensive at lower transaction rates, since
+        the cost of copying cannot be spread over many transactions.'"""
+        low = figure4c_curves["FUZZYCOPY"][0].lam
+        flush = next(p for p in figure4c_curves["2CFLUSH"] if p.lam == low)
+        for copier in ("FUZZYCOPY", "2CCOPY", "COUCOPY"):
+            point = next(p for p in figure4c_curves[copier] if p.lam == low)
+            assert point.overhead_per_txn > 3 * flush.overhead_per_txn
+
+
+class TestFigure4d:
+    def test_fixed_interval_two_color_falls_with_segment_size(
+            self, figure4d_curves):
+        """'This effect is responsible for the decrease in the overhead of
+        the 2CCOPY and 2CFLUSH algorithms (dotted curves).'"""
+        for name in ("2CCOPY", "2CFLUSH"):
+            curve = figure4d_curves[(name, True)]
+            assert curve[-1].overhead_per_txn < curve[0].overhead_per_txn
+            # Falling active fraction is the mechanism.
+            assert curve[-1].active_fraction < curve[0].active_fraction
+
+    def test_fixed_interval_coucopy_varies_little(self, figure4d_curves):
+        """'COUCOPY (dotted curve) shows only minor variations with segment
+        size.'"""
+        curve = figure4d_curves[("COUCOPY", True)]
+        values = [p.overhead_per_txn for p in curve]
+        assert max(values) < 2.0 * min(values)
+
+    def test_min_duration_copy_algorithms_rise(self, figure4d_curves):
+        """'Algorithms with costly copy overhead, namely 2CCOPY, COUCOPY,
+        and FUZZYCOPY ... show higher overhead as segment sizes
+        increase.'"""
+        for name in ("2CCOPY", "COUCOPY"):
+            curve = figure4d_curves[(name, False)]
+            assert curve[-1].overhead_per_txn > curve[0].overhead_per_txn
+
+    def test_min_duration_2cflush_falls(self, figure4d_curves):
+        """'2CFLUSH, which never copies data, actually exhibits lower
+        overhead with bigger segments.'"""
+        curve = figure4d_curves[("2CFLUSH", False)]
+        assert curve[-1].overhead_per_txn < curve[0].overhead_per_txn
+
+
+class TestFigure4e:
+    def test_fastfuzzy_few_hundred_instructions(self, figure4e_points):
+        """'The cost of maintaining the backup is only a few hundred
+        instructions per transaction.'"""
+        assert 100 < figure4e_points["FASTFUZZY"].overhead_per_txn < 1000
+
+    def test_fastfuzzy_cheapest_by_far(self, figure4e_points):
+        """'Clearly, FASTFUZZY is an appealing algorithm in this case.'"""
+        fastfuzzy = figure4e_points["FASTFUZZY"].overhead_per_txn
+        for name, point in figure4e_points.items():
+            if name != "FASTFUZZY":
+                assert point.overhead_per_txn > 4 * fastfuzzy
+
+    def test_other_algorithms_nearly_unchanged(self, figure4e_points):
+        """'The costs of the other algorithms are nearly identical to those
+        from Figure 4a.'"""
+        baseline = {p.algorithm: p for p in fig4a.figure4a()}
+        for name, point in figure4e_points.items():
+            if name == "FASTFUZZY":
+                continue
+            assert point.overhead_per_txn == pytest.approx(
+                baseline[name].overhead_per_txn, rel=0.05)

@@ -1,0 +1,181 @@
+"""Tests for the system/load parameter model (Tables 2a-2d)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import PAPER_DEFAULTS, SystemParameters
+from repro.units import MEGAWORD
+
+
+class TestPaperDefaults:
+    def test_table_2a_costs(self):
+        p = PAPER_DEFAULTS
+        assert p.c_lock == 20
+        assert p.c_alloc == 100
+        assert p.c_io == 1000
+        assert p.c_lsn == 20
+
+    def test_table_2b_disks(self):
+        p = PAPER_DEFAULTS
+        assert p.t_seek == pytest.approx(0.03)
+        assert p.t_trans == pytest.approx(3e-6)
+        assert p.n_bdisks == 20
+
+    def test_table_2c_database(self):
+        p = PAPER_DEFAULTS
+        assert p.s_db == 256 * MEGAWORD
+        assert p.s_rec == 32
+        assert p.s_seg == 8192
+
+    def test_table_2d_transactions(self):
+        p = PAPER_DEFAULTS
+        assert p.lam == 1000
+        assert p.n_ru == 5
+        assert p.c_trans == 25000
+
+    def test_paper_defaults_constructor(self):
+        assert SystemParameters.paper_defaults() == PAPER_DEFAULTS
+
+
+class TestDerivedQuantities:
+    def test_segment_count(self):
+        assert PAPER_DEFAULTS.n_segments == 32768
+
+    def test_record_count(self):
+        assert PAPER_DEFAULTS.n_records == 8 * MEGAWORD
+
+    def test_records_per_segment(self):
+        assert PAPER_DEFAULTS.records_per_segment == 256
+
+    def test_record_update_rate(self):
+        assert PAPER_DEFAULTS.record_update_rate == 5000
+
+    def test_segment_update_rate(self):
+        expected = 5000 / 32768
+        assert PAPER_DEFAULTS.segment_update_rate == pytest.approx(expected)
+
+    def test_segment_io_time(self):
+        # 0.03 s seek + 8192 words * 3 us/word = 54.576 ms
+        assert PAPER_DEFAULTS.segment_io_time == pytest.approx(0.0545760)
+
+    def test_full_checkpoint_time_matches_section_2_3_estimate(self):
+        # The paper estimates a 1 GB database can be checkpointed "every
+        # 100 seconds (fast)"; the exact model value is ~89 s.
+        t = PAPER_DEFAULTS.full_checkpoint_time
+        assert 80 < t < 100
+
+    def test_log_words_per_txn(self):
+        # 5 updates * (32 + 4 header) + 8 commit words
+        assert PAPER_DEFAULTS.log_words_per_txn == 188
+
+    def test_segment_io_rate_scales_with_disks(self):
+        doubled = PAPER_DEFAULTS.replace(n_bdisks=40)
+        assert doubled.segment_io_rate == pytest.approx(
+            2 * PAPER_DEFAULTS.segment_io_rate)
+
+
+class TestExpectedDirtySegments:
+    def test_zero_interval_is_clean(self):
+        assert PAPER_DEFAULTS.expected_dirty_segments(0.0) == 0.0
+
+    def test_long_interval_dirties_everything(self):
+        dirty = PAPER_DEFAULTS.expected_dirty_segments(1e6)
+        assert dirty == pytest.approx(PAPER_DEFAULTS.n_segments)
+
+    def test_short_interval_approximates_update_count(self):
+        # For tiny windows each update dirties a distinct segment.
+        window = 1e-4
+        dirty = PAPER_DEFAULTS.expected_dirty_segments(window)
+        updates = PAPER_DEFAULTS.record_update_rate * window
+        assert dirty == pytest.approx(updates, rel=1e-3)
+
+    def test_monotone_in_window(self):
+        values = [PAPER_DEFAULTS.expected_dirty_segments(w)
+                  for w in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_DEFAULTS.expected_dirty_segments(-1.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "c_lock", "c_alloc", "c_io", "c_lsn", "t_seek", "t_trans",
+        "n_bdisks", "s_db", "s_rec", "s_seg", "lam", "n_ru", "c_trans",
+    ])
+    def test_positive_fields_rejected_when_nonpositive(self, field):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(**{field: 0})
+
+    def test_segment_must_be_multiple_of_record(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(s_rec=30)  # 8192 % 30 != 0
+
+    def test_database_must_be_multiple_of_segment(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(s_db=8192 * 100 + 1)
+
+    def test_n_ru_cannot_exceed_record_count(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(s_db=8192, n_ru=1000)
+
+    def test_negative_extension_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(c_dirty_check=-1)
+        with pytest.raises(ConfigurationError):
+            SystemParameters(log_bulk_restart_fraction=-0.1)
+
+
+class TestReplaceAndScaling:
+    def test_replace_revalidates(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_DEFAULTS.replace(s_rec=30)
+
+    def test_replace_returns_new_instance(self):
+        p = PAPER_DEFAULTS.replace(lam=500)
+        assert p.lam == 500
+        assert PAPER_DEFAULTS.lam == 1000
+
+    def test_scaled_down_preserves_ratios(self):
+        p = SystemParameters.scaled_down(256)
+        assert p.records_per_segment == PAPER_DEFAULTS.records_per_segment
+        assert p.n_segments == PAPER_DEFAULTS.n_segments // 256
+        # Per-segment update rate is preserved by scaling lam too.
+        assert p.segment_update_rate == pytest.approx(
+            PAPER_DEFAULTS.segment_update_rate)
+
+    def test_scaled_down_with_explicit_lam(self):
+        p = SystemParameters.scaled_down(256, lam=50.0)
+        assert p.lam == 50.0
+
+    def test_scaled_down_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters.scaled_down(0)
+        with pytest.raises(ConfigurationError):
+            SystemParameters.scaled_down(100000)  # does not divide evenly
+
+    def test_scaled_down_accepts_overrides(self):
+        p = SystemParameters.scaled_down(256, n_bdisks=4)
+        assert p.n_bdisks == 4
+
+    def test_min_duration_scale_invariance(self):
+        # Scaling db and disks together keeps the checkpoint time ratio.
+        p = SystemParameters.scaled_down(256)
+        expected = PAPER_DEFAULTS.full_checkpoint_time / 256
+        assert p.full_checkpoint_time == pytest.approx(expected)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_DEFAULTS.lam = 1  # type: ignore[misc]
+
+
+class TestStableLogTailFlag:
+    def test_default_off(self):
+        assert PAPER_DEFAULTS.stable_log_tail is False
+
+    def test_flag_carried_through_replace(self):
+        p = PAPER_DEFAULTS.replace(stable_log_tail=True)
+        assert p.stable_log_tail is True

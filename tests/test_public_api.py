@@ -1,0 +1,120 @@
+"""Public-API surface and error-hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_workflow(self):
+        """The README quickstart, verbatim."""
+        from repro import SystemParameters, evaluate
+        params = SystemParameters.paper_defaults()
+        result = evaluate("COUCOPY", params)
+        assert 3000 < result.overhead_per_txn < 4000
+        assert 90 < result.recovery_time < 110
+
+    def test_simulation_workflow(self):
+        from repro import SimulatedSystem, SimulationConfig, SystemParameters
+        params = SystemParameters.scaled_down(1024, lam=100.0)
+        system = SimulatedSystem(SimulationConfig(
+            params=params, algorithm="COUCOPY", seed=7,
+            preload_backup=True))
+        system.run(1.0)
+        system.crash()
+        system.recover()
+        assert system.verify_recovery() == []
+
+    def test_algorithm_names_export(self):
+        assert len(repro.ALGORITHM_NAMES) == 6
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in ("ConfigurationError", "DatabaseError", "AddressError",
+                     "LockError", "TransactionError", "TransactionAborted",
+                     "TwoColorViolation", "InvalidStateError", "WALViolation",
+                     "CheckpointError", "RecoveryError", "CrashError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_address_error_is_index_error(self):
+        assert issubclass(errors.AddressError, IndexError)
+
+    def test_two_color_is_an_abort(self):
+        assert issubclass(errors.TwoColorViolation, errors.TransactionAborted)
+        violation = errors.TwoColorViolation("mixed")
+        assert violation.reason == "two-color"
+
+    def test_abort_reason_default(self):
+        assert errors.TransactionAborted("x").reason == "aborted"
+
+    def test_one_except_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.WALViolation("boom")
+
+
+class TestExperimentHelpers:
+    def test_text_table_alignment(self):
+        from repro.experiments.common import text_table
+        out = text_table(["a", "long_header"], [("x", 1), ("yy", 22)],
+                         title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_geometric_sweep(self):
+        from repro.experiments.common import geometric_sweep
+        values = geometric_sweep(1.0, 100.0, 3)
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(10.0)
+        assert values[2] == pytest.approx(100.0)
+
+    def test_geometric_sweep_single_point(self):
+        from repro.experiments.common import geometric_sweep
+        assert geometric_sweep(5.0, 10.0, 1) == [5.0]
+
+    def test_fig4c_cheapest_at(self):
+        from repro.experiments.fig4c import LoadPoint, cheapest_at
+        curves = {
+            "A": [LoadPoint("A", 10.0, 100.0, 0.0)],
+            "B": [LoadPoint("B", 10.0, 50.0, 0.0)],
+        }
+        assert cheapest_at(curves, 10.0) == "B"
+
+
+class TestBaseCheckpointerGuards:
+    def test_process_segment_abstract(self, tiny_params):
+        from repro.checkpoint.base import BaseCheckpointer, CheckpointRun
+        from tests.helpers import CheckpointHarness
+        harness = CheckpointHarness(tiny_params, "FUZZYCOPY")
+        base = BaseCheckpointer(
+            tiny_params, harness.database, harness.log, harness.locks,
+            harness.ledger, harness.engine, harness.backup, harness.array,
+            harness.authority)
+        with pytest.raises(NotImplementedError):
+            base._process_segment(
+                CheckpointRun(checkpoint_id=1,
+                              image=harness.backup.image(0),
+                              began_at=0.0), 0)
+
+    def test_release_slot_underflow(self):
+        from repro.checkpoint.base import CheckpointRun
+        from repro.errors import CheckpointError
+        run = CheckpointRun(checkpoint_id=1, image=None, began_at=0.0)
+        with pytest.raises(CheckpointError):
+            run.release_slot()

@@ -1,0 +1,78 @@
+"""Remaining edge paths: scheduler overrun, log corruption detection,
+model option validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import CheckpointHarness
+from repro.checkpoint.scheduler import CheckpointPolicy, CheckpointScheduler
+from repro.errors import ConfigurationError, InvalidStateError
+from repro.model.evaluate import ModelOptions, evaluate
+from repro.params import SystemParameters
+from repro.wal.log import LogManager
+
+
+class TestSchedulerOverrun:
+    def test_overrunning_checkpoint_delays_next_start(self):
+        """An interval shorter than the checkpoint itself: the next one
+        starts right after the previous finishes, never overlapping."""
+        params = SystemParameters(s_db=16 * 8192, lam=100.0, t_seek=0.05,
+                                  n_bdisks=1)  # slow disks: long checkpoints
+        harness = CheckpointHarness(params, "FUZZYCOPY")
+        # Dirty everything so each checkpoint takes ~16 * 0.0746 s.
+        for segment_index in range(params.n_segments):
+            harness.submit([segment_index * params.records_per_segment])
+        harness.log.flush()
+        scheduler = CheckpointScheduler(
+            harness.checkpointer, harness.engine,
+            CheckpointPolicy(interval=0.01))  # far below the ~1.2 s reality
+        scheduler.start()
+        harness.engine.run(until=3.0)
+        scheduler.stop()
+        history = harness.checkpointer.history
+        assert len(history) >= 2
+        for previous, following in zip(history, history[1:]):
+            assert following.began_at >= previous.ended_at - 1e-9
+
+    def test_launch_skipped_while_active(self, tiny_params):
+        harness = CheckpointHarness(tiny_params, "FUZZYCOPY")
+        harness.submit([0])  # unflushed: the checkpoint stalls on WAL
+        scheduler = CheckpointScheduler(
+            harness.checkpointer, harness.engine, CheckpointPolicy())
+        harness.checkpointer.start_checkpoint()
+        scheduler._launch()  # a stray fire while active must be a no-op
+        assert harness.checkpointer.current.checkpoint_id == 1
+        harness.drive_checkpoint()
+
+
+class TestLogCorruptionDetection:
+    def test_truncation_past_end_marker_detected(self, tiny_params):
+        """A begin marker missing for a found end marker is corruption."""
+        log = LogManager(tiny_params)
+        begin = log.append_begin_checkpoint(1, 1, (), image=0)
+        log.append_end_checkpoint(1, image=0)
+        log.flush()
+        log.truncate_stable_before(begin.lsn + 1)  # eat the begin marker
+        with pytest.raises(InvalidStateError):
+            log.find_last_completed_checkpoint()
+
+
+class TestModelOptionValidation:
+    def test_unknown_restart_model_rejected(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            evaluate("2CCOPY", paper_params,
+                     options=ModelOptions(restart_model="psychic"))
+
+    def test_heterogeneous_option_accepted(self, paper_params):
+        geometric = evaluate("2CCOPY", paper_params)
+        heterogeneous = evaluate(
+            "2CCOPY", paper_params,
+            options=ModelOptions(restart_model="heterogeneous"))
+        assert (heterogeneous.reruns_per_txn
+                > 1.5 * geometric.reruns_per_txn)
+        # Non-two-color algorithms are unaffected by the option.
+        a = evaluate("COUCOPY", paper_params)
+        b = evaluate("COUCOPY", paper_params,
+                     options=ModelOptions(restart_model="heterogeneous"))
+        assert a.overhead_per_txn == b.overhead_per_txn

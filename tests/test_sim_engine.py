@@ -1,0 +1,182 @@
+"""Tests for the discrete-event engine, clock, RNG streams, timestamps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, InvalidStateError
+from repro.sim.clock import Clock
+from repro.sim.engine import EventEngine
+from repro.sim.rng import RandomStreams
+from repro.sim.timestamps import TimestampAuthority
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance_to(1.5)
+        assert clock.now == 1.5
+
+    def test_no_backwards_travel(self):
+        clock = Clock(5.0)
+        with pytest.raises(InvalidStateError):
+            clock.advance_to(4.9)
+
+    def test_no_negative_start(self):
+        with pytest.raises(InvalidStateError):
+            Clock(-1.0)
+
+
+class TestEventEngine:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(2.0, lambda: fired.append("b"))
+        engine.schedule_at(1.0, lambda: fired.append("a"))
+        engine.schedule_at(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        engine = EventEngine()
+        fired = []
+        for tag in ("first", "second", "third"):
+            engine.schedule_at(1.0, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_follows_events(self):
+        engine = EventEngine()
+        times = []
+        engine.schedule_at(0.5, lambda: times.append(engine.now))
+        engine.schedule_at(1.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [0.5, 1.5]
+
+    def test_run_until_advances_clock_exactly(self):
+        engine = EventEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run(until=5.0)
+        assert engine.now == 5.0
+
+    def test_run_until_leaves_later_events(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(10.0, lambda: fired.append("late"))
+        engine.run(until=5.0)
+        assert fired == []
+        assert engine.pending == 1
+
+    def test_schedule_after(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: engine.schedule_after(
+            0.5, lambda: fired.append(engine.now)))
+        engine.run()
+        assert fired == [1.5]
+
+    def test_cannot_schedule_in_past(self):
+        engine = EventEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(InvalidStateError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(InvalidStateError):
+            EventEngine().schedule_after(-0.1, lambda: None)
+
+    def test_cancelled_events_skipped(self):
+        engine = EventEngine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+        assert engine.dispatched == 0
+
+    def test_events_scheduled_during_dispatch(self):
+        engine = EventEngine()
+        fired = []
+
+        def cascade():
+            fired.append("outer")
+            engine.schedule_after(0.0, lambda: fired.append("inner"))
+
+        engine.schedule_at(1.0, cascade)
+        engine.run()
+        assert fired == ["outer", "inner"]
+
+    def test_max_events_budget(self):
+        engine = EventEngine()
+        for i in range(10):
+            engine.schedule_at(float(i), lambda: None)
+        engine.run(max_events=3)
+        assert engine.dispatched == 3
+
+    def test_clear_drops_everything(self):
+        engine = EventEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.clear()
+        assert engine.pending == 0
+
+    def test_step_returns_false_when_empty(self):
+        assert EventEngine().step() is False
+
+
+class TestRandomStreams:
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(42)
+        b = RandomStreams(42)
+        assert a.exponential("x", 1.0) == b.exponential("x", 1.0)
+
+    def test_streams_are_independent_of_creation_order(self):
+        a = RandomStreams(7)
+        b = RandomStreams(7)
+        a.stream("first")
+        draw_a = a.uniform_int("second", 0, 1000)
+        draw_b = b.uniform_int("second", 0, 1000)  # "first" never touched
+        assert draw_a == draw_b
+
+    def test_different_seeds_differ(self):
+        xs = [RandomStreams(s).uniform_int("x", 0, 10**9) for s in range(5)]
+        assert len(set(xs)) > 1
+
+    def test_exponential_mean(self):
+        streams = RandomStreams(0)
+        draws = [streams.exponential("e", 4.0) for _ in range(4000)]
+        assert sum(draws) / len(draws) == pytest.approx(0.25, rel=0.1)
+
+    def test_choice_without_replacement_distinct(self):
+        streams = RandomStreams(0)
+        chosen = streams.choice_without_replacement("c", 100, 10)
+        assert len(set(chosen)) == 10
+        assert all(0 <= x < 100 for x in chosen)
+
+    def test_choice_rejects_overdraw(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams(0).choice_without_replacement("c", 3, 5)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams(0).exponential("x", 0.0)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams(-1)
+
+
+class TestTimestampAuthority:
+    def test_strictly_increasing(self):
+        authority = TimestampAuthority()
+        stamps = [authority.next() for _ in range(100)]
+        assert stamps == sorted(set(stamps))
+
+    def test_last_tracks_issued(self):
+        authority = TimestampAuthority()
+        assert authority.last == 0
+        authority.next()
+        assert authority.last == 1

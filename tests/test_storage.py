@@ -1,0 +1,176 @@
+"""Tests for disks, the array, and the ping-pong backup store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, InvalidStateError, RecoveryError
+from repro.params import SystemParameters
+from repro.storage.array import DiskArray
+from repro.storage.backup import BackupStore
+from repro.storage.disk import Disk
+
+
+class TestDisk:
+    def test_service_time_formula(self):
+        disk = Disk(t_seek=0.03, t_trans=3e-6)
+        assert disk.service_time(8192) == pytest.approx(0.03 + 8192 * 3e-6)
+
+    def test_requests_serialize(self):
+        disk = Disk(t_seek=0.01, t_trans=1e-6)
+        first = disk.submit(0.0, 1000)
+        second = disk.submit(0.0, 1000)
+        assert second == pytest.approx(2 * first)
+
+    def test_idle_gap_not_counted_busy(self):
+        disk = Disk(t_seek=0.01, t_trans=1e-6)
+        disk.submit(0.0, 0)
+        disk.submit(5.0, 0)  # arrives after idle period
+        assert disk.busy_time == pytest.approx(0.02)
+        assert disk.utilisation(10.0) == pytest.approx(0.002)
+
+    def test_stats(self):
+        disk = Disk(t_seek=0.01, t_trans=1e-6)
+        disk.submit(0.0, 500)
+        assert disk.requests == 1
+        assert disk.words_transferred == 500
+        disk.reset()
+        assert disk.requests == 0
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Disk(t_seek=-1, t_trans=1e-6)
+        with pytest.raises(ConfigurationError):
+            Disk(t_seek=0.01, t_trans=0)
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Disk(0.01, 1e-6).service_time(-1)
+
+
+class TestDiskArray:
+    def test_parallel_submission_uses_all_disks(self, tiny_params):
+        array = DiskArray(tiny_params)
+        n = tiny_params.n_bdisks
+        completions = [array.submit(0.0, tiny_params.s_seg) for _ in range(n)]
+        # All n requests complete at the same time: one per disk.
+        assert len(set(completions)) == 1
+
+    def test_excess_requests_queue(self, tiny_params):
+        array = DiskArray(tiny_params)
+        n = tiny_params.n_bdisks
+        first_wave = [array.submit(0.0, tiny_params.s_seg) for _ in range(n)]
+        extra = array.submit(0.0, tiny_params.s_seg)
+        assert extra == pytest.approx(2 * first_wave[0])
+
+    def test_series_time_inverse_in_disks(self, paper_params):
+        array = DiskArray(paper_params)
+        t20 = array.series_time(32768, paper_params.s_seg)
+        doubled = DiskArray(paper_params.replace(n_bdisks=40))
+        t40 = doubled.series_time(32768, paper_params.s_seg)
+        assert t40 == pytest.approx(t20 / 2)
+
+    def test_series_time_matches_full_checkpoint(self, paper_params):
+        array = DiskArray(paper_params)
+        assert (array.series_time(paper_params.n_segments, paper_params.s_seg)
+                == pytest.approx(paper_params.full_checkpoint_time))
+
+    def test_sequential_read_time_with_remainder(self, tiny_params):
+        array = DiskArray(tiny_params)
+        chunk = tiny_params.s_seg
+        exact = array.sequential_read_time(3 * chunk, chunk)
+        assert exact == pytest.approx(array.series_time(3, chunk))
+        ragged = array.sequential_read_time(3 * chunk + 10, chunk)
+        assert ragged > exact
+
+    def test_sequential_read_rejects_bad_chunk(self, tiny_params):
+        with pytest.raises(ConfigurationError):
+            DiskArray(tiny_params).sequential_read_time(100, 0)
+
+    def test_utilisation_aggregates(self, tiny_params):
+        array = DiskArray(tiny_params)
+        for _ in range(tiny_params.n_bdisks):
+            array.submit(0.0, tiny_params.s_seg)
+        elapsed = tiny_params.segment_io_time
+        assert array.utilisation(elapsed) == pytest.approx(1.0)
+
+
+@pytest.fixture
+def store(tiny_params: SystemParameters) -> BackupStore:
+    return BackupStore(tiny_params)
+
+
+def _segment_data(params: SystemParameters, fill: int) -> np.ndarray:
+    return np.full(params.records_per_segment, fill, dtype=np.int64)
+
+
+class TestBackupImages:
+    def test_ping_pong_alternation(self, store):
+        first = store.acquire_image_for_checkpoint(1)
+        first.complete_checkpoint(1, began_at=0.0)
+        second = store.acquire_image_for_checkpoint(2)
+        second.complete_checkpoint(2, began_at=1.0)
+        third = store.acquire_image_for_checkpoint(3)
+        assert first.index != second.index
+        assert third.index == first.index
+
+    def test_double_begin_rejected(self, store):
+        image = store.acquire_image_for_checkpoint(1)
+        with pytest.raises(InvalidStateError):
+            image.begin_checkpoint(2)
+
+    def test_complete_requires_matching_id(self, store):
+        image = store.acquire_image_for_checkpoint(1)
+        with pytest.raises(InvalidStateError):
+            image.complete_checkpoint(99, began_at=0.0)
+
+    def test_write_and_read_segment(self, store, tiny_params):
+        image = store.acquire_image_for_checkpoint(1)
+        data = _segment_data(tiny_params, 7)
+        image.write_segment(2, data, flush_time=5.0)
+        assert np.array_equal(image.read_segment(2), data)
+
+    def test_read_unwritten_segment_fails(self, store):
+        with pytest.raises(RecoveryError):
+            store.image(0).read_segment(0)
+
+    def test_write_shape_checked(self, store):
+        with pytest.raises(InvalidStateError):
+            store.image(0).write_segment(0, np.zeros(3, dtype=np.int64), 0.0)
+
+    def test_needs_segment_semantics(self, store, tiny_params):
+        image = store.image(0)
+        assert image.needs_segment(0, 0.0)  # never written
+        image.write_segment(0, _segment_data(tiny_params, 1), flush_time=5.0)
+        assert not image.needs_segment(0, 5.0)   # data ts == flush ts
+        assert not image.needs_segment(0, 4.0)   # older data
+        assert image.needs_segment(0, 6.0)       # updated since
+
+    def test_latest_complete_image(self, store):
+        assert store.latest_complete_image() is None
+        a = store.acquire_image_for_checkpoint(1)
+        a.complete_checkpoint(1, began_at=0.0)
+        b = store.acquire_image_for_checkpoint(2)
+        assert store.latest_complete_image() is a
+        b.complete_checkpoint(2, began_at=1.0)
+        assert store.latest_complete_image() is b
+
+    def test_crash_abandons_active_checkpoint(self, store, tiny_params):
+        image = store.acquire_image_for_checkpoint(1)
+        image.write_segment(0, _segment_data(tiny_params, 3), flush_time=1.0)
+        store.crash()
+        assert image.active_checkpoint_id is None
+        assert not image.is_complete
+        # Written data survives the crash (it is on disk).
+        assert image.read_segment(0)[0] == 3
+
+    def test_image_index_validation(self, store):
+        with pytest.raises(InvalidStateError):
+            store.image(2)
+
+    def test_completed_checkpoint_metadata(self, store):
+        image = store.acquire_image_for_checkpoint(5)
+        image.complete_checkpoint(5, began_at=42.0)
+        assert image.completed_checkpoint_id == 5
+        assert image.completed_checkpoint_begin == 42.0

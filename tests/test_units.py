@@ -1,0 +1,47 @@
+"""Tests for unit helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_words_to_bytes(self):
+        assert units.words_to_bytes(1) == 4
+        assert units.words_to_bytes(256) == 1024
+
+    def test_words_to_megabytes(self):
+        # The paper's estimate: 1 Gword/100 s needs ~10 MB/s; sanity-check
+        # the conversion behind it.
+        assert units.words_to_megabytes(250_000) == pytest.approx(1.0)
+
+    def test_mwords(self):
+        assert units.mwords(1) == 1 << 20
+        assert units.mwords(256) == 256 << 20
+
+    def test_instructions_to_mips_seconds(self):
+        assert units.instructions_to_mips_seconds(25_000, 25.0) == pytest.approx(1e-3)
+
+    def test_instructions_to_mips_seconds_rejects_bad_mips(self):
+        with pytest.raises(ValueError):
+            units.instructions_to_mips_seconds(1000, 0)
+
+
+class TestFormatting:
+    def test_fmt_instructions_plain(self):
+        assert units.fmt_instructions(123) == "123"
+
+    def test_fmt_instructions_kilo(self):
+        assert units.fmt_instructions(25_000) == "25k"
+
+    def test_fmt_instructions_mega(self):
+        assert units.fmt_instructions(3_200_000) == "3.2M"
+
+    def test_fmt_seconds_large(self):
+        assert units.fmt_seconds(89.42).endswith("s")
+        assert "89.42" in units.fmt_seconds(89.42)
+
+    def test_fmt_seconds_small(self):
+        assert units.fmt_seconds(0.0546).endswith("ms")
