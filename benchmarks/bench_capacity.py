@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.experiments import capacity
 from repro.params import PAPER_DEFAULTS, SystemParameters
 from repro.simulate.system import SimulatedSystem, SimulationConfig
+from repro.sweep import SweepRunner
 
 
 def test_capacity_table(benchmark, save_report):
@@ -17,6 +18,18 @@ def test_capacity_table(benchmark, save_report):
     assert by_name["FASTFUZZY"].max_throughput > 0.97 * ideal
     assert by_name["COUCOPY"].max_throughput > 0.90 * ideal
     assert by_name["2CCOPY"].max_throughput < 0.40 * ideal
+
+
+def test_capacity_table_parallel(benchmark):
+    """The same sweep fanned over a process pool (runner overhead check)."""
+    runner = SweepRunner(workers=2)
+
+    def run():
+        return capacity.capacity_table(PAPER_DEFAULTS, runner=runner)
+
+    points = benchmark.pedantic(run, iterations=1, rounds=3)
+    serial = capacity.capacity_table(PAPER_DEFAULTS)
+    assert points == serial  # parallel fan-out must be bit-identical
 
 
 def test_contended_simulation(benchmark):

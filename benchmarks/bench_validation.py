@@ -8,6 +8,7 @@ verify.
 from __future__ import annotations
 
 from repro.experiments import validation
+from repro.sweep import SweepRunner
 
 
 def _run():
@@ -28,3 +29,14 @@ def test_validation_suite_report(benchmark, save_report):
     by_name = {r.algorithm: r for r in rows}
     assert 0.85 < by_name["FUZZYCOPY"].overhead_ratio < 1.15
     assert 0.85 < by_name["FASTFUZZY"].overhead_ratio < 1.15
+
+
+def test_validation_suite_parallel(benchmark):
+    """The suite fanned over worker processes; the wall-clock ratio to
+    the serial benchmark above is the sweep runner's speedup."""
+    runner = SweepRunner(workers=2)
+    rows = benchmark.pedantic(
+        validation.run_validation_suite,
+        kwargs={"duration": 8.0, "runner": runner},
+        iterations=1, rounds=1)
+    assert rows == validation.run_validation_suite(duration=8.0)

@@ -28,7 +28,7 @@ def shootout_round(algorithm: str, params: SystemParameters,
     metrics = system.run(duration)
     system.crash()
     recovery = system.recover()
-    clean = not system.verify_recovery()
+    clean = system.verify_recovery() == []
     return {
         "algorithm": algorithm,
         "overhead": metrics.overhead_per_transaction,

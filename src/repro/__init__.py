@@ -11,29 +11,65 @@ The package has two faces:
   injection and recovery) that validates the model and proves recovery
   correctness end to end.
 
-Quick start::
+Both are driven through the :mod:`repro.api` facade::
 
-    from repro import SystemParameters, evaluate
+    import repro
 
-    result = evaluate("COUCOPY", SystemParameters.paper_defaults())
+    result = repro.evaluate("COUCOPY")          # analytic model
     print(result.overhead_per_txn, result.recovery_time)
 
-See ``examples/`` for complete walkthroughs and ``benchmarks/`` for the
-figure-by-figure reproduction harness.
+    outcome = repro.simulate("COUCOPY", scale=1024, duration=5.0,
+                             crash=True)        # testbed + verified recovery
+    assert outcome.clean
+
+    result = repro.sweep(point_fn,              # parallel, cached grids
+                         grid={"algorithm": ["COUCOPY", "2CCOPY"]},
+                         workers=4)
+
+See ``examples/`` for complete walkthroughs, ``benchmarks/`` for the
+figure-by-figure reproduction harness, and ``docs/SWEEPS.md`` for the
+sweep subsystem.
 """
+
+import warnings as _warnings
+from types import ModuleType as _ModuleType
 
 from .checkpoint import (
     ALGORITHM_NAMES,
     CheckpointPolicy,
     CheckpointScope,
 )
-from .errors import ReproError
-from .model import ModelResult, evaluate
+from .errors import ReproError, SweepError
+from .model import ModelResult
 from .params import PAPER_DEFAULTS, SystemParameters
 from .simulate import SimulatedSystem, SimulationConfig
+from .sweep import SweepResult, SweepRunner, SweepSpec
 from .txn import AccessDistribution, WorkloadSpec
 
-__version__ = "1.0.0"
+from . import api
+from . import simulate, sweep  # noqa: F811 - made callable facades below
+from .api import SimulationOutcome, evaluate
+
+
+class _FacadeModule(_ModuleType):
+    """A submodule that is also callable as its same-named api function.
+
+    ``repro.simulate`` stays the real subpackage (so every
+    ``repro.simulate.*`` import path keeps working) while
+    ``repro.simulate(...)`` invokes :func:`repro.api.simulate`; likewise
+    for ``repro.sweep`` / :func:`repro.api.sweep`.
+    """
+
+    def __call__(self, *args, **kwargs):
+        return self.__dict__["__facade__"](*args, **kwargs)
+
+
+for _module, _facade in ((simulate, api.simulate), (sweep, api.sweep)):
+    _module.__class__ = _FacadeModule
+    _module.__facade__ = _facade
+del _module, _facade
+
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHM_NAMES",
@@ -45,8 +81,33 @@ __all__ = [
     "ReproError",
     "SimulatedSystem",
     "SimulationConfig",
+    "SimulationOutcome",
+    "SweepError",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
     "SystemParameters",
     "WorkloadSpec",
     "evaluate",
+    "simulate",
+    "sweep",
     "__version__",
 ]
+
+#: Pre-facade call paths kept importable with a deprecation pointer to
+#: their :mod:`repro.api` replacement.
+_DEPRECATED_ALIASES = {
+    "evaluate_all": ("repro.model.evaluate.evaluate_all",
+                     "repro.sweep / repro.api.sweep"),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_ALIASES:
+        dotted, replacement = _DEPRECATED_ALIASES[name]
+        _warnings.warn(
+            f"repro.{name} ({dotted}) is deprecated; use {replacement}",
+            DeprecationWarning, stacklevel=2)
+        from .model.evaluate import evaluate_all
+        return evaluate_all
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,229 @@
+"""The one-stop experiment facade: ``evaluate``, ``simulate``, ``sweep``.
+
+Every way of running this reproduction -- the analytic model, the
+discrete-event testbed, and grid experiments over either -- is reachable
+through three calls, all re-exported at the package top level::
+
+    import repro
+
+    # analytic model, one configuration
+    result = repro.evaluate("COUCOPY")
+    print(result.overhead_per_txn, result.recovery_time)
+
+    # one testbed run, optionally crash-tested
+    outcome = repro.simulate("COUCOPY", scale=1024, duration=5.0, crash=True)
+    assert outcome.clean            # oracle found no lost updates
+
+    # a parallel, cached parameter sweep over any picklable function
+    result = repro.sweep(my_point_fn,
+                         grid={"algorithm": ["COUCOPY", "2CCOPY"],
+                               "lam": [100.0, 200.0]},
+                         workers=4)
+
+The historical call paths -- constructing
+:class:`~repro.simulate.system.SimulatedSystem` by hand, calling the
+per-driver functions in :mod:`repro.experiments` -- keep working; this
+module is the supported surface going forward, and the drivers
+themselves now execute through the same :class:`~repro.sweep.SweepRunner`
+that :func:`sweep` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from .checkpoint.base import CheckpointScope
+from .checkpoint.scheduler import CheckpointPolicy
+from .errors import ConfigurationError
+from .model.evaluate import ModelOptions, ModelResult
+from .model.evaluate import evaluate as _model_evaluate
+from .params import SystemParameters
+from .recovery.restore import RecoveryResult
+from .simulate.system import (
+    SimulatedSystem,
+    SimulationConfig,
+    SimulationMetrics,
+)
+from .sweep import SweepResult, SweepRunner, SweepSpec
+from .sweep.cache import PathLike
+
+
+def evaluate(
+    algorithm: str,
+    params: Optional[SystemParameters] = None,
+    *,
+    interval: Optional[float] = None,
+    scope: CheckpointScope = CheckpointScope.PARTIAL,
+    options: Optional[ModelOptions] = None,
+) -> ModelResult:
+    """Run the analytic model on one (algorithm, configuration) pair.
+
+    Identical to :func:`repro.model.evaluate.evaluate` except that
+    ``params`` defaults to the paper's Tables 2a-2d.
+    """
+    if params is None:
+        params = SystemParameters.paper_defaults()
+    return _model_evaluate(algorithm, params, interval=interval, scope=scope,
+                           options=options)
+
+
+@dataclass(frozen=True)
+class SimulationOutcome:
+    """Everything one :func:`simulate` call produced."""
+
+    config: SimulationConfig
+    metrics: SimulationMetrics
+    recovery: Optional[RecoveryResult] = None
+    mismatches: Optional[List[int]] = None
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the run ended with an injected crash + recovery."""
+        return self.recovery is not None
+
+    @property
+    def clean(self) -> bool:
+        """True when no crash was injected, or recovery lost nothing."""
+        return not self.mismatches
+
+
+def simulate(
+    algorithm: str = "COUCOPY",
+    *,
+    params: Optional[SystemParameters] = None,
+    scale: int = 256,
+    lam: Optional[float] = None,
+    seed: int = 0,
+    duration: float = 10.0,
+    warmup: float = 0.0,
+    interval: Optional[float] = None,
+    crash: bool = False,
+    stable_tail: bool = False,
+    config: Optional[SimulationConfig] = None,
+    **config_overrides: Any,
+) -> SimulationOutcome:
+    """One complete testbed run, from configuration to verified recovery.
+
+    Builds a :class:`SimulationConfig` (scaled-down parameters, the
+    given algorithm and checkpoint interval, preloaded backups), runs
+    ``warmup`` seconds that are excluded from the metrics, measures
+    ``duration`` seconds, and -- with ``crash=True`` -- injects a crash,
+    recovers, and checks the result against the committed-state oracle.
+
+    Args:
+        algorithm: checkpointer name (``repro.ALGORITHM_NAMES`` plus the
+            extensions).
+        params: explicit system parameters; default is
+            ``SystemParameters.scaled_down(scale, lam=lam)``.
+        scale: database scale-down factor versus the paper (ignored when
+            ``params`` is given).
+        lam: arrival rate override, transactions/second.
+        seed: RNG seed (one seed = one deterministic run).
+        duration: measured simulation seconds.
+        warmup: seconds simulated then discarded before measuring.
+        interval: checkpoint interval; ``None`` = minimum-duration policy.
+        crash: inject a crash at the end and verify recovery.
+        stable_tail: stable RAM holds the log tail (required for
+            FASTFUZZY).
+        config: a fully-built :class:`SimulationConfig`; overrides every
+            other configuration argument.
+        **config_overrides: extra :class:`SimulationConfig` fields
+            (``trace=True``, ``cpu_mips=50.0``, ``logical_updates=True``,
+            ...).
+
+    Returns:
+        A :class:`SimulationOutcome`; ``outcome.clean`` asserts the
+        oracle found no discrepancies (``mismatches == []``).
+    """
+    if config is None:
+        if params is None:
+            params = SystemParameters.scaled_down(
+                scale, lam=lam, stable_log_tail=stable_tail)
+        else:
+            if lam is not None:
+                params = params.replace(lam=lam)
+            if stable_tail and not params.stable_log_tail:
+                params = params.replace(stable_log_tail=True)
+        config = SimulationConfig(
+            params=params,
+            algorithm=algorithm,
+            seed=seed,
+            policy=CheckpointPolicy(interval=interval),
+            preload_backup=True,
+            **config_overrides,
+        )
+    elif config_overrides:
+        raise ConfigurationError(
+            "pass configuration either as config= or as keyword overrides, "
+            f"not both (got {sorted(config_overrides)!r})")
+
+    system = SimulatedSystem(config)
+    if warmup > 0:
+        system.run(warmup)
+        system.reset_measurements()
+    metrics = system.run(duration)
+    recovery: Optional[RecoveryResult] = None
+    mismatches: Optional[List[int]] = None
+    if crash:
+        system.crash()
+        recovery = system.recover()
+        mismatches = system.verify_recovery()
+    return SimulationOutcome(config=config, metrics=metrics,
+                             recovery=recovery, mismatches=mismatches)
+
+
+def sweep(
+    fn: Callable[..., Any],
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    *,
+    points: Optional[Sequence[Mapping[str, Any]]] = None,
+    fixed: Optional[Mapping[str, Any]] = None,
+    replicates: int = 1,
+    base_seed: int = 0,
+    seed_arg: Optional[str] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[PathLike] = None,
+    progress: Optional[Callable[[int, int, Any], None]] = None,
+    runner: Optional[SweepRunner] = None,
+) -> SweepResult:
+    """Run ``fn`` over a parameter grid, in parallel, with caching.
+
+    Exactly one of ``grid`` (named axes whose cartesian product is
+    swept) or ``points`` (an explicit list of kwargs dicts) describes
+    the parameter space; ``fixed`` supplies arguments shared by every
+    point.  With ``replicates > 1``, every point runs under several
+    deterministically derived seeds passed via ``seed_arg``.
+
+    ``workers=None`` uses every core; pass ``workers=1`` to force the
+    serial path (the results are bit-identical either way).  A
+    ``cache_dir`` makes re-runs skip every already-computed point.
+    """
+    if (grid is None) == (points is None):
+        raise ConfigurationError("pass exactly one of grid= or points=")
+    if grid is not None:
+        spec = SweepSpec.from_grid(fn, grid, fixed=fixed,
+                                   replicates=replicates,
+                                   base_seed=base_seed, seed_arg=seed_arg)
+    else:
+        spec = SweepSpec.from_points(fn, points, fixed=fixed,
+                                     replicates=replicates,
+                                     base_seed=base_seed, seed_arg=seed_arg)
+    if runner is None:
+        runner = SweepRunner(workers=workers, cache_dir=cache_dir,
+                             progress=progress)
+    return runner.run(spec)
+
+
+#: Structured grid sweep results, re-exported for facade completeness.
+__all__ = [
+    "ModelOptions",
+    "ModelResult",
+    "SimulationOutcome",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "evaluate",
+    "simulate",
+    "sweep",
+]

@@ -18,6 +18,8 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
+import sys
 from typing import List, Optional
 
 from .checkpoint.registry import ALL_ALGORITHM_NAMES
@@ -25,6 +27,40 @@ from .checkpoint.scheduler import CheckpointPolicy
 from .model.evaluate import evaluate
 from .params import SystemParameters
 from .simulate.system import SimulatedSystem, SimulationConfig
+from .sweep import SweepRunner, default_cache_dir
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    """The uniform sweep flags shared by every sweep-backed command."""
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for parameter sweeps "
+                             "(default: all CPUs; results are identical "
+                             "for any worker count)")
+    parser.add_argument("--replicates", type=int, default=1, metavar="R",
+                        help="seeded replicates per simulation point "
+                             "(model-only sweeps are deterministic and "
+                             "ignore this)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every point instead of reusing "
+                             "the on-disk sweep result cache")
+
+
+def _sweep_runner(args: argparse.Namespace) -> SweepRunner:
+    """Build the shared runner for one CLI invocation."""
+    workers = args.workers if args.workers is not None else os.cpu_count()
+    progress = _progress_printer() if sys.stderr.isatty() else None
+    return SweepRunner(
+        workers=workers or 1,
+        cache_dir=None if args.no_cache else default_cache_dir(),
+        progress=progress)
+
+
+def _progress_printer():
+    def progress(done: int, total: int, _cell) -> None:
+        end = "\n" if done == total else ""
+        print(f"\rsweep: {done}/{total} points", end=end,
+              file=sys.stderr, flush=True)
+    return progress
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--plot", action="store_true",
                          help="render ASCII plots where the figure is a "
                               "curve family")
+    _add_sweep_flags(figures)
 
     ev = sub.add_parser("evaluate", help="analytic model, one configuration")
     ev.add_argument("--algorithm", default="COUCOPY")
@@ -72,20 +109,26 @@ def build_parser() -> argparse.ArgumentParser:
     val = sub.add_parser("validate", help="model-vs-testbed comparison")
     val.add_argument("--duration", type=float, default=10.0)
     val.add_argument("--seed", type=int, default=42)
+    _add_sweep_flags(val)
 
     sub.add_parser("ablations", help="modelling-choice ablations")
-    sub.add_parser("extensions", help="AC/NAIVELOCK extension experiments")
+
+    ext = sub.add_parser("extensions",
+                         help="AC/NAIVELOCK extension experiments")
+    _add_sweep_flags(ext)
 
     cap = sub.add_parser("capacity",
                          help="throughput capacity per algorithm")
     cap.add_argument("--mips", type=float, default=50.0,
                      help="processor budget in MIPS")
+    _add_sweep_flags(cap)
 
     rep = sub.add_parser("report", help="regenerate the full report")
     rep.add_argument("--out", default="reports",
                      help="output directory (default: ./reports)")
     rep.add_argument("--fast", action="store_true",
                      help="model-only report (skip simulation sections)")
+    _add_sweep_flags(rep)
     return parser
 
 
@@ -100,16 +143,25 @@ def _cmd_tables(_args: argparse.Namespace) -> str:
 
 def _cmd_figures(args: argparse.Namespace) -> str:
     from .experiments import fig4a, fig4b, fig4c, fig4d, fig4e
-    renderers = {"4a": fig4a, "4b": fig4b, "4c": fig4c,
-                 "4d": fig4d, "4e": fig4e}
-    chosen = (list(renderers) if args.which == "all" else [args.which])
-    blocks = [renderers[name].render() for name in chosen]
+    runner = _sweep_runner(args)
+    chosen = (["4a", "4b", "4c", "4d", "4e"] if args.which == "all"
+              else [args.which])
+    blocks = []
+    for name in chosen:
+        if name == "4b":
+            blocks.append(fig4b.render(runner=runner))
+        elif name == "4c":
+            blocks.append(fig4c.render(runner=runner))
+        else:
+            module = {"4a": fig4a, "4d": fig4d, "4e": fig4e}[name]
+            blocks.append(module.render())
     if args.plot:
-        blocks.extend(_figure_plots(chosen))
+        blocks.extend(_figure_plots(chosen, runner))
     return "\n\n".join(blocks)
 
 
-def _figure_plots(chosen: List[str]) -> List[str]:
+def _figure_plots(chosen: List[str],
+                  runner: Optional[SweepRunner] = None) -> List[str]:
     from .experiments import fig4b, fig4c
     from .experiments.ascii_plot import AsciiPlot
     plots: List[str] = []
@@ -117,7 +169,8 @@ def _figure_plots(chosen: List[str]) -> List[str]:
         plot = AsciiPlot(title="Figure 4b - overhead vs recovery time",
                          x_label="recovery time (s)",
                          y_label="overhead (instructions/txn)", log_y=True)
-        for (alg, disks), curve in sorted(fig4b.figure4b().items()):
+        for (alg, disks), curve in sorted(
+                fig4b.figure4b(runner=runner).items()):
             plot.add_series(f"{alg}/{disks}d",
                             [(p.recovery_time, p.overhead_per_txn)
                              for p in curve])
@@ -127,7 +180,7 @@ def _figure_plots(chosen: List[str]) -> List[str]:
                          x_label="arrival rate (txns/s)",
                          y_label="overhead (instructions/txn)",
                          log_x=True, log_y=True)
-        for name, points in fig4c.figure4c().items():
+        for name, points in fig4c.figure4c(runner=runner).items():
             plot.add_series(name, [(p.lam, p.overhead_per_txn)
                                    for p in points])
         plots.append(plot.render())
@@ -192,8 +245,9 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
 
 def _cmd_validate(args: argparse.Namespace) -> str:
     from .experiments import validation
-    rows = validation.run_validation_suite(duration=args.duration,
-                                           seed=args.seed)
+    rows = validation.run_validation_suite(
+        duration=args.duration, seed=args.seed,
+        replicates=args.replicates, runner=_sweep_runner(args))
     return validation.render(rows)
 
 
@@ -202,19 +256,22 @@ def _cmd_ablations(_args: argparse.Namespace) -> str:
     return ablations.render()
 
 
-def _cmd_extensions(_args: argparse.Namespace) -> str:
+def _cmd_extensions(args: argparse.Namespace) -> str:
     from .experiments import extensions
-    return extensions.render()
+    return extensions.render(replicates=args.replicates,
+                             runner=_sweep_runner(args))
 
 
 def _cmd_capacity(args: argparse.Namespace) -> str:
     from .experiments import capacity
-    return capacity.render(mips=args.mips)
+    return capacity.render(mips=args.mips, runner=_sweep_runner(args))
 
 
 def _cmd_report(args: argparse.Namespace) -> str:
     from .experiments.report import generate_report
-    path = generate_report(args.out, include_simulations=not args.fast)
+    path = generate_report(args.out, include_simulations=not args.fast,
+                           replicates=args.replicates,
+                           runner=_sweep_runner(args))
     return f"report written to {path}"
 
 

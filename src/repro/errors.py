@@ -83,3 +83,13 @@ class RecoveryError(ReproError):
 
 class CrashError(ReproError):
     """Raised internally to unwind the simulator when a crash is injected."""
+
+
+class SweepError(ReproError):
+    """One or more points of a parameter sweep failed after retry.
+
+    The runner never lets a failing point kill the sweep; the failure is
+    recorded in its cell.  Drivers that cannot tolerate holes (the
+    figure generators) raise this via
+    :meth:`repro.sweep.SweepResult.raise_failures`.
+    """

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 from ..model.evaluate import ModelOptions
 from ..model.utilization import cpu_utilization, throughput_capacity
 from ..params import PAPER_DEFAULTS, SystemParameters
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import text_table
 
 DEFAULT_MIPS = 50.0
@@ -35,34 +36,53 @@ class CapacityPoint:
     checkpoint_share_at_capacity: float
 
 
+def _capacity_point(
+    algorithm: str,
+    mips: float,
+    params: SystemParameters,
+    options: Optional[ModelOptions] = None,
+) -> CapacityPoint:
+    """One sweep point: saturate one algorithm on one machine."""
+    p = params
+    if algorithm == "FASTFUZZY":
+        p = p.replace(stable_log_tail=True)
+    capacity = throughput_capacity(algorithm, p, mips, options=options)
+    at_capacity = cpu_utilization(
+        algorithm, p.replace(lam=max(capacity, 1e-9)), mips, options=options)
+    return CapacityPoint(
+        algorithm=algorithm,
+        mips=mips,
+        max_throughput=capacity,
+        checkpoint_share_at_capacity=at_capacity.checkpoint_share,
+    )
+
+
 def capacity_table(
     params: SystemParameters = PAPER_DEFAULTS,
     *,
     mips: float = DEFAULT_MIPS,
     algorithms: Sequence[str] = ALGORITHMS,
     options: Optional[ModelOptions] = None,
+    runner: Optional[SweepRunner] = None,
+    workers: Optional[int] = None,
 ) -> List[CapacityPoint]:
     """Maximum sustainable throughput for each algorithm."""
-    points = []
-    for name in algorithms:
-        p = params
-        if name == "FASTFUZZY":
-            p = p.replace(stable_log_tail=True)
-        capacity = throughput_capacity(name, p, mips, options=options)
-        at_capacity = cpu_utilization(
-            name, p.replace(lam=max(capacity, 1e-9)), mips, options=options)
-        points.append(CapacityPoint(
-            algorithm=name,
-            mips=mips,
-            max_throughput=capacity,
-            checkpoint_share_at_capacity=at_capacity.checkpoint_share,
-        ))
-    return points
+    spec = SweepSpec.from_points(
+        _capacity_point,
+        [{"algorithm": name} for name in algorithms],
+        fixed={"mips": mips, "params": params, "options": options})
+    result = resolve_runner(runner, workers).run(spec)
+    result.raise_failures()
+    return result.values()
 
 
 def render(params: SystemParameters = PAPER_DEFAULTS,
-           mips: float = DEFAULT_MIPS) -> str:
-    points = capacity_table(params, mips=mips)
+           mips: float = DEFAULT_MIPS,
+           *,
+           runner: Optional[SweepRunner] = None,
+           workers: Optional[int] = None) -> str:
+    points = capacity_table(params, mips=mips, runner=runner,
+                            workers=workers)
     ideal = mips * 1e6 / params.c_trans
     rows = [
         (p.algorithm, f"{p.max_throughput:.0f}",

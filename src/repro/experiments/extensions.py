@@ -23,6 +23,7 @@ from ..checkpoint.scheduler import CheckpointPolicy
 from ..model.evaluate import evaluate
 from ..params import PAPER_DEFAULTS, SystemParameters
 from ..simulate.system import SimulatedSystem, SimulationConfig
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import fmt_overhead, text_table
 from .validation import validation_params
 
@@ -45,18 +46,33 @@ class SpectrumPoint:
     recovery_time: float
 
 
+def _spectrum_point(algorithm: str, consistency: str,
+                    params: SystemParameters) -> SpectrumPoint:
+    """One sweep point: the model at one consistency level."""
+    result = evaluate(algorithm, params)
+    return SpectrumPoint(
+        algorithm=algorithm,
+        consistency=consistency,
+        overhead_per_txn=result.overhead_per_txn,
+        recovery_time=result.recovery_time,
+    )
+
+
 def consistency_spectrum(
-        params: SystemParameters = PAPER_DEFAULTS) -> List[SpectrumPoint]:
+    params: SystemParameters = PAPER_DEFAULTS,
+    *,
+    runner: Optional[SweepRunner] = None,
+    workers: Optional[int] = None,
+) -> List[SpectrumPoint]:
     """Model overhead across the fuzzy -> AC -> TC spectrum."""
-    return [
-        SpectrumPoint(
-            algorithm=name,
-            consistency=level,
-            overhead_per_txn=evaluate(name, params).overhead_per_txn,
-            recovery_time=evaluate(name, params).recovery_time,
-        )
-        for name, level in CONSISTENCY_SPECTRUM
-    ]
+    spec = SweepSpec.from_points(
+        _spectrum_point,
+        [{"algorithm": name, "consistency": level}
+         for name, level in CONSISTENCY_SPECTRUM],
+        fixed={"params": params})
+    result = resolve_runner(runner, workers).run(spec)
+    result.raise_failures()
+    return result.values()
 
 
 @dataclass(frozen=True)
@@ -70,39 +86,76 @@ class LatencyRow:
     committed: int
 
 
+def _latency_point(algorithm: str, lam: float, duration: float,
+                   seed: int) -> LatencyRow:
+    """One sweep point: the testbed latency profile of one algorithm."""
+    system = SimulatedSystem(SimulationConfig(
+        params=validation_params(lam), algorithm=algorithm, seed=seed,
+        policy=CheckpointPolicy(), preload_backup=True))
+    metrics = system.run(duration)
+    return LatencyRow(
+        algorithm=algorithm,
+        lock_waits=metrics.lock_waits,
+        mean_response_ms=metrics.mean_response_time * 1e3,
+        aborts=sum(metrics.aborts.values()),
+        committed=metrics.transactions_committed,
+    )
+
+
 def latency_profile(
     *,
     algorithms: Optional[List[str]] = None,
     lam: float = 200.0,
     duration: float = 8.0,
     seed: int = 5,
+    replicates: int = 1,
+    runner: Optional[SweepRunner] = None,
+    workers: Optional[int] = None,
 ) -> List[LatencyRow]:
-    """Measure the latency cost the CPU metric cannot express."""
+    """Measure the latency cost the CPU metric cannot express.
+
+    With ``replicates > 1`` every algorithm runs under that many derived
+    seeds; response times average, event counts accumulate.
+    """
     if algorithms is None:
         algorithms = ["FUZZYCOPY", "ACCOPY", "COUCOPY", "2CCOPY",
                       "NAIVELOCK"]
-    params = validation_params(lam)
+    points = [{"algorithm": name} for name in algorithms]
+    fixed = {"lam": lam, "duration": duration}
+    if replicates == 1:
+        spec = SweepSpec.from_points(_latency_point, points,
+                                     fixed={**fixed, "seed": seed})
+    else:
+        spec = SweepSpec.from_points(_latency_point, points, fixed=fixed,
+                                     replicates=replicates, base_seed=seed,
+                                     seed_arg="seed")
+    result = resolve_runner(runner, workers).run(spec)
+    result.raise_failures()
+    if replicates == 1:
+        return result.values()
     rows = []
-    for name in algorithms:
-        system = SimulatedSystem(SimulationConfig(
-            params=params, algorithm=name, seed=seed,
-            policy=CheckpointPolicy(), preload_backup=True))
-        metrics = system.run(duration)
+    for _, cells in result.groups():
+        samples = [cell.value for cell in cells]
         rows.append(LatencyRow(
-            algorithm=name,
-            lock_waits=metrics.lock_waits,
-            mean_response_ms=metrics.mean_response_time * 1e3,
-            aborts=sum(metrics.aborts.values()),
-            committed=metrics.transactions_committed,
+            algorithm=samples[0].algorithm,
+            lock_waits=sum(s.lock_waits for s in samples),
+            mean_response_ms=(sum(s.mean_response_ms for s in samples)
+                              / len(samples)),
+            aborts=sum(s.aborts for s in samples),
+            committed=sum(s.committed for s in samples),
         ))
     return rows
 
 
-def render(params: SystemParameters = PAPER_DEFAULTS) -> str:
+def render(params: SystemParameters = PAPER_DEFAULTS,
+           *,
+           replicates: int = 1,
+           runner: Optional[SweepRunner] = None,
+           workers: Optional[int] = None) -> str:
     spectrum_rows = [
         (p.algorithm, p.consistency, fmt_overhead(p.overhead_per_txn),
          f"{p.recovery_time:.1f}s")
-        for p in consistency_spectrum(params)
+        for p in consistency_spectrum(params, runner=runner, workers=workers)
     ]
     spectrum = text_table(
         ["algorithm", "consistency", "overhead/txn", "recovery"],
@@ -111,7 +164,8 @@ def render(params: SystemParameters = PAPER_DEFAULTS) -> str:
     latency_rows = [
         (r.algorithm, r.lock_waits, f"{r.mean_response_ms:.2f}",
          r.aborts, r.committed)
-        for r in latency_profile()
+        for r in latency_profile(replicates=replicates, runner=runner,
+                                 workers=workers)
     ]
     latency = text_table(
         ["algorithm", "lock waits", "mean resp (ms)", "aborts", "committed"],

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..model.duration import minimum_duration
 from ..model.evaluate import ModelOptions, evaluate
 from ..params import PAPER_DEFAULTS, SystemParameters
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import fmt_overhead, fmt_time, geometric_sweep, text_table
 
 ALGORITHMS = ("2CCOPY", "COUCOPY")
@@ -41,6 +42,25 @@ class TradeoffPoint:
     recovery_time: float
 
 
+def _tradeoff_point(
+    algorithm: str,
+    n_bdisks: int,
+    interval: float,
+    params: SystemParameters,
+    options: Optional[ModelOptions] = None,
+) -> TradeoffPoint:
+    """One sweep point: evaluate the model at one trajectory position."""
+    result = evaluate(algorithm, params.replace(n_bdisks=n_bdisks),
+                      interval=interval, options=options)
+    return TradeoffPoint(
+        algorithm=algorithm,
+        n_bdisks=n_bdisks,
+        interval=result.interval,
+        overhead_per_txn=result.overhead_per_txn,
+        recovery_time=result.recovery_time,
+    )
+
+
 def figure4b(
     params: SystemParameters = PAPER_DEFAULTS,
     *,
@@ -49,32 +69,35 @@ def figure4b(
     points_per_curve: int = 10,
     max_interval: float = 600.0,
     options: Optional[ModelOptions] = None,
+    runner: Optional[SweepRunner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[Tuple[str, int], List[TradeoffPoint]]:
     """Trace each (algorithm, disk count) trajectory."""
-    curves: Dict[Tuple[str, int], List[TradeoffPoint]] = {}
+    grid: List[Dict[str, object]] = []
+    curve_keys: List[Tuple[str, int, int]] = []
     for n_disks in disk_counts:
         p = params.replace(n_bdisks=n_disks)
         low = minimum_duration(p)
         intervals = geometric_sweep(low, max(max_interval, low * 1.01),
                                     points_per_curve)
         for algorithm in algorithms:
-            curve = []
-            for interval in intervals:
-                result = evaluate(algorithm, p, interval=interval,
-                                  options=options)
-                curve.append(TradeoffPoint(
-                    algorithm=algorithm,
-                    n_bdisks=n_disks,
-                    interval=result.interval,
-                    overhead_per_txn=result.overhead_per_txn,
-                    recovery_time=result.recovery_time,
-                ))
-            curves[(algorithm, n_disks)] = curve
-    return curves
+            curve_keys.append((algorithm, n_disks, len(intervals)))
+            grid.extend({"algorithm": algorithm, "n_bdisks": n_disks,
+                         "interval": interval} for interval in intervals)
+    result = resolve_runner(runner, workers).run(SweepSpec.from_points(
+        _tradeoff_point, grid, fixed={"params": params, "options": options}))
+    result.raise_failures()
+    values = iter(result.values())
+    return {(algorithm, n_disks): [next(values) for _ in range(count)]
+            for algorithm, n_disks, count in curve_keys}
 
 
-def render(params: SystemParameters = PAPER_DEFAULTS) -> str:
-    curves = figure4b(params, points_per_curve=6)
+def render(params: SystemParameters = PAPER_DEFAULTS,
+           *,
+           runner: Optional[SweepRunner] = None,
+           workers: Optional[int] = None) -> str:
+    curves = figure4b(params, points_per_curve=6, runner=runner,
+                      workers=workers)
     blocks = []
     for (algorithm, disks), curve in sorted(curves.items()):
         rows = [(fmt_time(pt.interval), fmt_overhead(pt.overhead_per_txn),

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 from ..model.duration import minimum_duration
 from ..model.evaluate import ModelOptions, evaluate
 from ..params import PAPER_DEFAULTS, SystemParameters
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import fmt_overhead, text_table
 
 ALGORITHMS = ("FUZZYCOPY", "2CFLUSH", "2CCOPY", "COUFLUSH", "COUCOPY")
@@ -43,27 +44,45 @@ class LoadPoint:
     abort_probability: float
 
 
+def _load_point(
+    algorithm: str,
+    lam: float,
+    interval: float,
+    params: SystemParameters,
+    options: Optional[ModelOptions] = None,
+) -> LoadPoint:
+    """One sweep point: the model at one (algorithm, load) pair."""
+    result = evaluate(algorithm, params.replace(lam=lam), interval=interval,
+                      options=options)
+    return LoadPoint(
+        algorithm=algorithm,
+        lam=lam,
+        overhead_per_txn=result.overhead_per_txn,
+        abort_probability=result.abort_probability,
+    )
+
+
 def figure4c(
     params: SystemParameters = PAPER_DEFAULTS,
     *,
     loads: Sequence[float] = DEFAULT_LOADS,
     algorithms: Sequence[str] = ALGORITHMS,
     options: Optional[ModelOptions] = None,
+    runner: Optional[SweepRunner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, List[LoadPoint]]:
     """Sweep the arrival rate at the default-load minimum interval."""
     interval = minimum_duration(params)
+    spec = SweepSpec.from_points(
+        _load_point,
+        [{"algorithm": algorithm, "lam": lam}
+         for lam in loads for algorithm in algorithms],
+        fixed={"interval": interval, "params": params, "options": options})
+    result = resolve_runner(runner, workers).run(spec)
+    result.raise_failures()
     curves: Dict[str, List[LoadPoint]] = {name: [] for name in algorithms}
-    for lam in loads:
-        p = params.replace(lam=lam)
-        for algorithm in algorithms:
-            result = evaluate(algorithm, p, interval=interval,
-                              options=options)
-            curves[algorithm].append(LoadPoint(
-                algorithm=algorithm,
-                lam=lam,
-                overhead_per_txn=result.overhead_per_txn,
-                abort_probability=result.abort_probability,
-            ))
+    for point in result.values():
+        curves[point.algorithm].append(point)
     return curves
 
 
@@ -78,8 +97,11 @@ def cheapest_at(curves: Dict[str, List[LoadPoint]], lam: float) -> str:
     return best_name
 
 
-def render(params: SystemParameters = PAPER_DEFAULTS) -> str:
-    curves = figure4c(params)
+def render(params: SystemParameters = PAPER_DEFAULTS,
+           *,
+           runner: Optional[SweepRunner] = None,
+           workers: Optional[int] = None) -> str:
+    curves = figure4c(params, runner=runner, workers=workers)
     loads = [point.lam for point in next(iter(curves.values()))]
     rows = []
     for lam in loads:

@@ -11,11 +11,12 @@ not overlap).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..checkpoint.scheduler import CheckpointPolicy
 from ..params import SystemParameters
 from ..simulate.system import SimulatedSystem, SimulationConfig
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import text_table
 from .stats import SampleSummary, summarize
 from .validation import validation_params
@@ -32,6 +33,35 @@ class ReplicatedResult:
     committed_total: int
 
 
+def _replicate_point(
+    algorithm: str,
+    params: SystemParameters,
+    seed: int,
+    duration: float,
+    warmup: float,
+) -> Tuple[float, float, float, int]:
+    """One seeded run: (overhead, p(abort), mean response, committed)."""
+    system = SimulatedSystem(SimulationConfig(
+        params=params, algorithm=algorithm, seed=seed,
+        policy=CheckpointPolicy(), preload_backup=True))
+    if warmup > 0:
+        system.run(warmup)
+        system.reset_measurements()
+    metrics = system.run(duration)
+    return (metrics.overhead_per_transaction, metrics.abort_probability,
+            metrics.mean_response_time, metrics.transactions_committed)
+
+
+def _resolve_params(algorithm: str,
+                    params: Optional[SystemParameters]) -> SystemParameters:
+    if params is not None:
+        return params
+    params = validation_params(200.0)
+    if algorithm.upper() == "FASTFUZZY":
+        params = params.replace(stable_log_tail=True)
+    return params
+
+
 def replicate(
     algorithm: str,
     *,
@@ -40,34 +70,25 @@ def replicate(
     duration: float = 8.0,
     warmup: float = 4.0,
     confidence: float = 0.95,
+    runner: Optional[SweepRunner] = None,
+    workers: Optional[int] = None,
 ) -> ReplicatedResult:
     """Run ``algorithm`` across ``seeds`` and summarise the metrics."""
-    if params is None:
-        params = validation_params(200.0)
-        if algorithm.upper() == "FASTFUZZY":
-            params = params.replace(stable_log_tail=True)
-    overheads: List[float] = []
-    aborts: List[float] = []
-    responses: List[float] = []
-    committed_total = 0
-    for seed in seeds:
-        system = SimulatedSystem(SimulationConfig(
-            params=params, algorithm=algorithm, seed=seed,
-            policy=CheckpointPolicy(), preload_backup=True))
-        if warmup > 0:
-            system.run(warmup)
-            system.reset_measurements()
-        metrics = system.run(duration)
-        overheads.append(metrics.overhead_per_transaction)
-        aborts.append(metrics.abort_probability)
-        responses.append(metrics.mean_response_time)
-        committed_total += metrics.transactions_committed
+    params = _resolve_params(algorithm, params)
+    spec = SweepSpec.from_points(
+        _replicate_point,
+        [{"seed": seed} for seed in seeds],
+        fixed={"algorithm": algorithm, "params": params,
+               "duration": duration, "warmup": warmup})
+    result = resolve_runner(runner, workers).run(spec)
+    result.raise_failures()
+    samples = result.values()
     return ReplicatedResult(
         algorithm=algorithm.upper(),
-        overhead=summarize(overheads, confidence),
-        abort_probability=summarize(aborts, confidence),
-        mean_response_time=summarize(responses, confidence),
-        committed_total=committed_total,
+        overhead=summarize([s[0] for s in samples], confidence),
+        abort_probability=summarize([s[1] for s in samples], confidence),
+        mean_response_time=summarize([s[2] for s in samples], confidence),
+        committed_total=sum(s[3] for s in samples),
     )
 
 
@@ -77,13 +98,32 @@ def compare(
     params: Optional[SystemParameters] = None,
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     duration: float = 8.0,
+    runner: Optional[SweepRunner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, ReplicatedResult]:
-    """Replicate several algorithms under identical configurations."""
-    return {
-        name.upper(): replicate(name, params=params, seeds=seeds,
-                                duration=duration)
-        for name in algorithms
-    }
+    """Replicate several algorithms under identical configurations.
+
+    The whole (algorithm x seed) grid goes through the runner as one
+    sweep, so with ``workers > 1`` every seeded run of every algorithm
+    executes concurrently.
+    """
+    grid = [{"algorithm": name, "params": _resolve_params(name, params),
+             "seed": seed}
+            for name in algorithms for seed in seeds]
+    result = resolve_runner(runner, workers).run(SweepSpec.from_points(
+        _replicate_point, grid, fixed={"duration": duration, "warmup": 4.0}))
+    result.raise_failures()
+    out: Dict[str, ReplicatedResult] = {}
+    for name in algorithms:
+        samples = [cell.value for cell in result.select(algorithm=name)]
+        out[name.upper()] = ReplicatedResult(
+            algorithm=name.upper(),
+            overhead=summarize([s[0] for s in samples]),
+            abort_probability=summarize([s[1] for s in samples]),
+            mean_response_time=summarize([s[2] for s in samples]),
+            committed_total=sum(s[3] for s in samples),
+        )
+    return out
 
 
 def separated(a: ReplicatedResult, b: ReplicatedResult) -> bool:
@@ -91,9 +131,13 @@ def separated(a: ReplicatedResult, b: ReplicatedResult) -> bool:
     return not a.overhead.overlaps(b.overhead)
 
 
-def render(results: Optional[Dict[str, ReplicatedResult]] = None) -> str:
+def render(results: Optional[Dict[str, ReplicatedResult]] = None,
+           *,
+           runner: Optional[SweepRunner] = None,
+           workers: Optional[int] = None) -> str:
     if results is None:
-        results = compare(["FUZZYCOPY", "COUCOPY", "2CCOPY"])
+        results = compare(["FUZZYCOPY", "COUCOPY", "2CCOPY"],
+                          runner=runner, workers=workers)
     rows = [
         (r.algorithm, str(r.overhead), f"{r.abort_probability.mean:.3f}",
          f"{r.mean_response_time.mean * 1e3:.2f}ms", r.committed_total)

@@ -11,9 +11,10 @@ produces the model-only report in a second.)
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
 from ..params import PAPER_DEFAULTS, SystemParameters
+from ..sweep import SweepRunner
 from . import (
     ablations,
     capacity,
@@ -44,8 +45,16 @@ def generate_report(
     params: SystemParameters = PAPER_DEFAULTS,
     *,
     include_simulations: bool = True,
+    replicates: int = 1,
+    runner: Optional[SweepRunner] = None,
+    workers: Optional[int] = None,
 ) -> Path:
-    """Write the full report; returns the REPORT.md path."""
+    """Write the full report; returns the REPORT.md path.
+
+    ``runner`` / ``workers`` thread a shared :class:`~repro.sweep.SweepRunner`
+    through every sweep-backed section, so one process pool (and one result
+    cache) serves the whole report.
+    """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
     export.export_all(target / "csv", params)
@@ -53,22 +62,31 @@ def generate_report(
     sections: List[str] = [_HEADER]
     sections.append("## Model parameters (Tables 2a-2d)\n\n```\n"
                     + tables.render(params) + "\n```")
-    for title, module in (
-        ("Figure 4a", fig4a), ("Figure 4b", fig4b), ("Figure 4c", fig4c),
-        ("Figure 4d", fig4d), ("Figure 4e", fig4e),
-    ):
+    sections.append("## Figure 4a\n\n```\n" + fig4a.render(params) + "\n```")
+    for title, module in (("Figure 4b", fig4b), ("Figure 4c", fig4c)):
+        sections.append(f"## {title}\n\n```\n"
+                        + module.render(params, runner=runner,
+                                        workers=workers) + "\n```")
+    for title, module in (("Figure 4d", fig4d), ("Figure 4e", fig4e)):
         sections.append(f"## {title}\n\n```\n{module.render(params)}\n```")
     sections.append("## Throughput capacity (extension)\n\n```\n"
-                    + capacity.render(params) + "\n```")
+                    + capacity.render(params, runner=runner, workers=workers)
+                    + "\n```")
     sections.append("## Modelling-choice ablations\n\n```\n"
                     + ablations.render(params) + "\n```")
     if include_simulations:
         sections.append("## Model vs testbed\n\n```\n"
-                        + validation.render() + "\n```")
+                        + validation.render(replicates=replicates,
+                                            runner=runner, workers=workers)
+                        + "\n```")
         sections.append("## Consistency spectrum & latency (extensions)"
-                        "\n\n```\n" + extensions.render(params) + "\n```")
+                        "\n\n```\n"
+                        + extensions.render(params, replicates=replicates,
+                                            runner=runner, workers=workers)
+                        + "\n```")
         sections.append("## Replicated measurements\n\n```\n"
-                        + replication.render() + "\n```")
+                        + replication.render(runner=runner, workers=workers)
+                        + "\n```")
     report_path = target / "REPORT.md"
     report_path.write_text("\n\n".join(sections) + "\n")
     return report_path

@@ -25,6 +25,7 @@ Expected agreement:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -32,6 +33,7 @@ from ..checkpoint.scheduler import CheckpointPolicy
 from ..model.evaluate import ModelResult, evaluate
 from ..params import SystemParameters
 from ..simulate.system import SimulatedSystem, SimulationConfig, SimulationMetrics
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import fmt_overhead, text_table
 
 #: Scaled configuration: 512 segments keeps the per-segment update rate
@@ -114,21 +116,80 @@ def run_validation_suite(
     lam: float = 200.0,
     duration: float = 12.0,
     seed: int = 42,
+    warmup: float = 8.0,
+    replicates: int = 1,
+    runner: Optional[SweepRunner] = None,
+    workers: Optional[int] = None,
 ) -> List[ValidationRow]:
-    """Validate the default set of algorithms."""
+    """Validate the default set of algorithms.
+
+    Executes the (algorithm x stable-tail) grid through a
+    :class:`~repro.sweep.SweepRunner` -- pass ``workers`` (or a
+    configured ``runner``) to fan the simulations out over processes;
+    the rows are bit-identical to a serial run either way.  With
+    ``replicates > 1`` every algorithm runs under that many
+    deterministically derived seeds and the rows average them.
+    """
     if algorithms is None:
         algorithms = ("FUZZYCOPY", "2CFLUSH", "2CCOPY", "COUFLUSH",
                       "COUCOPY")
-    rows = [run_validation(name, lam=lam, duration=duration, seed=seed)
-            for name in algorithms]
-    rows.append(run_validation("FASTFUZZY", lam=lam, duration=duration,
-                               seed=seed, stable_log_tail=True))
-    return rows
+    points = [{"algorithm": name, "stable_log_tail": False}
+              for name in algorithms]
+    points.append({"algorithm": "FASTFUZZY", "stable_log_tail": True})
+    fixed = {"lam": lam, "duration": duration, "warmup": warmup}
+    if replicates == 1:
+        spec = SweepSpec.from_points(
+            run_validation, points, fixed={**fixed, "seed": seed})
+    else:
+        spec = SweepSpec.from_points(
+            run_validation, points, fixed=fixed, replicates=replicates,
+            base_seed=seed, seed_arg="seed")
+    result = resolve_runner(runner, workers).run(spec)
+    return [_combine_rows(kwargs, cells)
+            for kwargs, cells in result.groups()]
 
 
-def render(rows: Optional[List[ValidationRow]] = None) -> str:
+def _combine_rows(kwargs: dict, cells: Sequence) -> ValidationRow:
+    """Collapse one algorithm's replicate cells into a single row.
+
+    Float metrics average across replicates; transaction and checkpoint
+    counts accumulate.  A point whose every replicate failed yields a
+    NaN row, so a crashed worker surfaces in the table instead of
+    silently dropping the algorithm.
+    """
+    rows = [cell.value for cell in cells if cell.ok]
+    if not rows:
+        nan = float("nan")
+        return ValidationRow(
+            algorithm=str(kwargs.get("algorithm", "?")),
+            model_overhead=nan, measured_overhead=nan,
+            model_abort_probability=nan, measured_abort_probability=nan,
+            transactions=0, checkpoints=0)
+
+    def mean(values: Sequence[float]) -> float:
+        return math.fsum(values) / len(values)
+
+    return ValidationRow(
+        algorithm=rows[0].algorithm,
+        model_overhead=mean([r.model_overhead for r in rows]),
+        measured_overhead=mean([r.measured_overhead for r in rows]),
+        model_abort_probability=mean(
+            [r.model_abort_probability for r in rows]),
+        measured_abort_probability=mean(
+            [r.measured_abort_probability for r in rows]),
+        transactions=sum(r.transactions for r in rows),
+        checkpoints=sum(r.checkpoints for r in rows),
+    )
+
+
+def render(rows: Optional[List[ValidationRow]] = None,
+           *,
+           replicates: int = 1,
+           runner: Optional[SweepRunner] = None,
+           workers: Optional[int] = None) -> str:
     if rows is None:
-        rows = run_validation_suite()
+        rows = run_validation_suite(replicates=replicates, runner=runner,
+                                    workers=workers)
     table_rows = [
         (r.algorithm, fmt_overhead(r.model_overhead),
          fmt_overhead(r.measured_overhead), f"{r.overhead_ratio:.2f}",

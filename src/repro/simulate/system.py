@@ -8,7 +8,7 @@
     system.run(duration=20.0)          # normal processing + checkpoints
     system.crash()                     # power fails mid-flight
     result = system.recover()          # rebuild from backup + log
-    assert not system.verify_recovery()  # oracle agrees: nothing lost
+    assert system.verify_recovery() == []  # oracle agrees: nothing lost
 
 Metrics mirror the paper's Section 4: measured checkpoint overhead per
 transaction (from the instruction ledger), abort/rerun counts (the

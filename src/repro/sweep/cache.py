@@ -1,0 +1,188 @@
+"""Stable configuration hashing and the on-disk sweep result cache.
+
+Two problems have to be solved for a sweep cache to be trustworthy:
+
+* **key stability** -- the cache key for a point must depend only on the
+  *meaning* of its configuration, never on dict ordering, object
+  identity, or process randomness.  :func:`canonical` renders any
+  parameter value the sweeps use (frozen dataclasses such as
+  :class:`~repro.params.SystemParameters` and
+  :class:`~repro.simulate.system.SimulationConfig`, enums, containers,
+  numbers) into one deterministic string, and :func:`point_key` hashes
+  it with SHA-256;
+* **staleness** -- a cached result is only valid for the code that
+  produced it.  :func:`code_fingerprint` hashes every ``.py`` source
+  file of the :mod:`repro` package into the key, so *any* source change
+  invalidates the whole cache rather than silently serving results from
+  an older model or simulator.
+
+Cache layout (see ``docs/SWEEPS.md``)::
+
+    <cache_dir>/<key[:2]>/<key[2:]>.pkl     # pickled point result
+
+Entries are written atomically (temp file + ``os.replace``) so a
+crashed or concurrent sweep never leaves a truncated entry; any entry
+that fails to load is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Union
+
+#: Sentinel distinguishing "cache miss" from a legitimately-None result.
+MISS = object()
+
+PathLike = Union[str, Path]
+
+
+def canonical(obj: Any) -> str:
+    """Render ``obj`` as a deterministic, content-addressed string.
+
+    Dataclasses are rendered field by field (by declared order), enums
+    by class and member name, mappings with sorted keys, and floats via
+    ``repr`` (exact round-trip in Python 3).  Unknown types fall back to
+    ``repr``, which is correct for any type whose repr is stable and
+    value-determined.
+    """
+    if obj is None or isinstance(obj, (bool, int, float)):
+        return repr(obj)
+    if isinstance(obj, str):
+        return "s" + repr(obj)
+    if isinstance(obj, bytes):
+        return "b" + repr(obj)
+    if isinstance(obj, enum.Enum):
+        return f"E({type(obj).__qualname__}.{obj.name})"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={canonical(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj))
+        return f"D({type(obj).__qualname__}:{fields})"
+    if isinstance(obj, (tuple, list)):
+        return "T(" + ",".join(canonical(item) for item in obj) + ")"
+    if isinstance(obj, (set, frozenset)):
+        return "S(" + ",".join(sorted(canonical(item) for item in obj)) + ")"
+    if isinstance(obj, dict):
+        items = sorted(
+            (canonical(key), canonical(value)) for key, value in obj.items())
+        return "M(" + ",".join(f"{k}:{v}" for k, v in items) + ")"
+    if callable(obj):
+        return (f"F({getattr(obj, '__module__', '?')}"
+                f".{getattr(obj, '__qualname__', repr(obj))})")
+    return f"R({type(obj).__qualname__}:{obj!r})"
+
+
+def digest(obj: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical`\\ (obj)."""
+    return hashlib.sha256(canonical(obj).encode()).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``.py`` file in the installed :mod:`repro` package.
+
+    This is the "code version" component of every cache key: editing any
+    source file -- model, simulator, or sweep machinery -- changes the
+    fingerprint and retires every previously cached result.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    hasher = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        hasher.update(str(path.relative_to(root)).encode())
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes())
+    return hasher.hexdigest()[:16]
+
+
+def point_key(fn: Callable[..., Any], point: Any) -> str:
+    """The cache key of one sweep point: ``hash(code, fn, kwargs, seed)``."""
+    payload = canonical((
+        code_fingerprint(),
+        f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', fn)}",
+        point.kwargs,
+        point.replicate,
+        point.seed,
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Where the CLI keeps sweep results: ``$REPRO_SWEEP_CACHE`` if set,
+    else ``$XDG_CACHE_HOME/repro/sweeps``, else ``~/.cache/repro/sweeps``."""
+    override = os.environ.get("REPRO_SWEEP_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "sweeps"
+
+
+class ResultCache:
+    """Content-addressed pickle store for completed sweep points."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / (key[2:] + ".pkl")
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or :data:`MISS`.
+
+        Anything that prevents loading -- no entry, truncated pickle, a
+        class renamed since the entry was written -- is a miss, never an
+        error: the point is simply recomputed.
+        """
+        try:
+            with open(self._path(key), "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return MISS
+
+    def put(self, key: str, value: Any) -> bool:
+        """Store ``value`` atomically; returns False if it is unpicklable."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            payload = pickle.dumps(value)
+        except Exception:
+            return False
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for path in self.directory.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.rglob("*.pkl"))

@@ -1,0 +1,294 @@
+"""Parallel sweep execution: process fan-out, caching, failure isolation.
+
+:class:`SweepRunner` executes a :class:`~repro.sweep.spec.SweepSpec`:
+
+* **parallelism** -- points fan out over a ``ProcessPoolExecutor`` with
+  ``workers`` processes (default: every core).  Results are assembled
+  in point order, and seeds are derived from point identity, so the
+  output is bit-identical to a serial run;
+* **caching** -- with a ``cache_dir``, completed points are stored under
+  a stable hash of (code fingerprint, function, kwargs, seed); re-running
+  a sweep recomputes only points whose configuration or code changed;
+* **robustness** -- a point that raises (or whose worker dies, poisoning
+  the pool) is retried once in the parent process; a second failure is
+  recorded as a failed :class:`SweepCell` instead of killing the sweep;
+* **progress** -- an optional ``progress(done, total, cell)`` callback
+  fires as each cell completes (the CLI renders it on stderr).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, SweepError
+from .cache import MISS, PathLike, ResultCache, point_key
+from .spec import SweepPoint, SweepSpec
+
+#: ``progress(done, total, cell)`` callback type.
+ProgressCallback = Callable[[int, int, "SweepCell"], None]
+
+
+def _invoke(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> Any:
+    """The worker entry point (module-level, hence picklable)."""
+    return fn(**kwargs)
+
+
+@dataclass
+class SweepCell:
+    """The outcome of one sweep point."""
+
+    kwargs: Dict[str, Any]
+    replicate: int = 0
+    seed: Optional[int] = None
+    value: Any = None
+    error: Optional[str] = None
+    cached: bool = False
+    retried: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepResult:
+    """All cells of a completed sweep, in point (grid x replicate) order."""
+
+    cells: List[SweepCell] = field(default_factory=list)
+    executed: int = 0
+    cache_hits: int = 0
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def values(self) -> List[Any]:
+        """Values of the successful cells, in point order."""
+        return [cell.value for cell in self.cells if cell.ok]
+
+    def failures(self) -> List[SweepCell]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def raise_failures(self) -> "SweepResult":
+        """Raise :class:`~repro.errors.SweepError` if any cell failed."""
+        failed = self.failures()
+        if failed:
+            first = failed[0]
+            raise SweepError(
+                f"{len(failed)} of {len(self.cells)} sweep point(s) failed; "
+                f"first: {first.kwargs!r} -> {first.error}")
+        return self
+
+    def select(self, **criteria: Any) -> List[SweepCell]:
+        """Cells whose kwargs match every ``name=value`` criterion."""
+        return [cell for cell in self.cells
+                if all(cell.kwargs.get(name) == value
+                       for name, value in criteria.items())]
+
+    def groups(self) -> List[Tuple[Dict[str, Any], List[SweepCell]]]:
+        """Cells grouped by parameter combination (replicates together),
+        in first-appearance order."""
+        keyed: Dict[Tuple[Tuple[str, Any], ...], List[SweepCell]] = {}
+        for cell in self.cells:
+            keyed.setdefault(tuple(sorted(cell.kwargs.items(),
+                                          key=lambda item: item[0])),
+                             []).append(cell)
+        return [(dict(key), cells) for key, cells in keyed.items()]
+
+    def aggregate(
+        self,
+        metric: Callable[[Any], float],
+        *,
+        confidence: float = 0.95,
+    ) -> List[Tuple[Dict[str, Any], Any]]:
+        """Per-combination replicate summaries (mean / stddev / CI).
+
+        ``metric`` maps one point value to a float; each combination's
+        successful replicates are summarised with a Student-t interval
+        (:func:`repro.experiments.stats.summarize`).  Combinations with
+        no successful replicate are skipped.
+        """
+        from ..experiments.stats import summarize
+
+        out = []
+        for kwargs, cells in self.groups():
+            samples = [metric(cell.value) for cell in cells if cell.ok]
+            if samples:
+                out.append((kwargs, summarize(samples, confidence)))
+        return out
+
+
+class SweepRunner:
+    """Executes sweep specs; see the module docstring for the contract."""
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        cache_dir: Optional[PathLike] = None,
+        progress: Optional[ProgressCallback] = None,
+        retries: int = 1,
+    ) -> None:
+        """
+        Args:
+            workers: process count; ``None`` = ``os.cpu_count()``, ``1``
+                runs everything in-process.
+            cache_dir: directory for the on-disk result cache; ``None``
+                disables caching.
+            progress: ``progress(done, total, cell)`` completion callback.
+            retries: how many times a raising point is re-attempted
+                (in the parent process) before its cell is marked failed.
+        """
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries!r}")
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.progress = progress
+        self.retries = retries
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute every point of ``spec``; never raises for point errors."""
+        points = spec.points()
+        total = len(points)
+        cells: List[SweepCell] = [
+            SweepCell(kwargs=dict(pt.kwargs), replicate=pt.replicate,
+                      seed=pt.seed)
+            for pt in points
+        ]
+
+        keys: Dict[int, str] = {}
+        pending: List[SweepPoint] = []
+        done = 0
+        for pt in points:
+            cell = cells[pt.index]
+            if self.cache is not None:
+                key = point_key(spec.fn, pt)
+                keys[pt.index] = key
+                value = self.cache.get(key)
+                if value is not MISS:
+                    cell.value = value
+                    cell.cached = True
+                    done += 1
+                    self._report(done, total, cell)
+                    continue
+            pending.append(pt)
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1 and _picklable(spec.fn):
+                self._run_pool(spec, pending, cells, keys, done, total)
+            else:
+                self._run_serial(spec, pending, cells, keys, done, total)
+
+        executed = sum(1 for cell in cells if not cell.cached)
+        return SweepResult(cells=cells, executed=executed,
+                           cache_hits=total - executed)
+
+    def map(self, fn: Callable[..., Any],
+            points: Sequence[Dict[str, Any]], **spec_kwargs: Any) -> SweepResult:
+        """Convenience: build a :class:`SweepSpec` from ``points`` and run it."""
+        return self.run(SweepSpec.from_points(fn, points, **spec_kwargs))
+
+    # ------------------------------------------------------------------
+    # execution strategies
+    # ------------------------------------------------------------------
+    def _run_serial(self, spec: SweepSpec, pending: List[SweepPoint],
+                    cells: List[SweepCell], keys: Dict[int, str],
+                    done: int, total: int) -> None:
+        for pt in pending:
+            cell = cells[pt.index]
+            self._execute(spec, pt, cell)
+            self._store(keys.get(pt.index), cell)
+            done += 1
+            self._report(done, total, cell)
+
+    def _run_pool(self, spec: SweepSpec, pending: List[SweepPoint],
+                  cells: List[SweepCell], keys: Dict[int, str],
+                  done: int, total: int) -> None:
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_invoke, spec.fn, pt.call_kwargs()): pt
+                for pt in pending
+            }
+            for future in as_completed(futures):
+                pt = futures[future]
+                cell = cells[pt.index]
+                error = future.exception()
+                if error is None:
+                    cell.value = future.result()
+                else:
+                    # Covers both a raising point and a dead worker
+                    # (BrokenProcessPool poisons every outstanding future;
+                    # each is then retried in this process).
+                    self._execute(spec, pt, cell, first_error=error)
+                self._store(keys.get(pt.index), cell)
+                done += 1
+                self._report(done, total, cell)
+
+    def _execute(self, spec: SweepSpec, pt: SweepPoint, cell: SweepCell,
+                 first_error: Optional[BaseException] = None) -> None:
+        """Run one point in-process, retrying up to ``self.retries`` times."""
+        error = first_error
+        if error is None:
+            try:
+                cell.value = _invoke(spec.fn, pt.call_kwargs())
+                return
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                error = exc
+        for _ in range(self.retries):
+            cell.retried = True
+            try:
+                cell.value = _invoke(spec.fn, pt.call_kwargs())
+                cell.error = None
+                return
+            except Exception as exc:  # noqa: BLE001
+                error = exc
+        cell.error = "".join(
+            traceback.format_exception_only(type(error), error)).strip()
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _store(self, key: Optional[str], cell: SweepCell) -> None:
+        if self.cache is not None and key is not None and cell.ok:
+            self.cache.put(key, cell.value)
+
+    def _report(self, done: int, total: int, cell: SweepCell) -> None:
+        if self.progress is not None:
+            self.progress(done, total, cell)
+
+
+def _picklable(fn: Callable[..., Any]) -> bool:
+    try:
+        pickle.dumps(fn)
+    except Exception:
+        return False
+    return True
+
+
+def resolve_runner(runner: Optional[SweepRunner],
+                   workers: Optional[int]) -> SweepRunner:
+    """The runner a driver should use.
+
+    An explicit ``runner`` wins; otherwise a fresh uncached runner with
+    ``workers`` processes (``None`` = serial, preserving every driver's
+    pre-sweep behaviour for library callers -- the CLI passes its own
+    runner with caching and cpu-count default).
+    """
+    if runner is not None:
+        return runner
+    return SweepRunner(workers=workers if workers is not None else 1)

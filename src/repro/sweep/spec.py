@@ -1,0 +1,181 @@
+"""Sweep specifications: a parameter grid plus replicate seeds.
+
+A :class:`SweepSpec` is the declarative half of the sweep subsystem: it
+names a point function (any picklable module-level callable) and the
+grid of keyword-argument combinations to call it with, optionally
+repeated over several *replicates* with deterministically derived seeds.
+The :class:`~repro.sweep.runner.SweepRunner` is the executive half.
+
+Seed derivation is a pure function of ``(base_seed, point, replicate)``
+-- never of execution order, worker id, or wall clock -- which is what
+makes a parallel sweep bit-identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import ConfigurationError
+from .cache import canonical
+
+KwargsItems = Tuple[Tuple[str, Any], ...]
+
+
+def derive_seed(base_seed: int, key: Any, replicate: int = 0) -> int:
+    """A deterministic 63-bit seed for one (point, replicate) pair.
+
+    SHA-256 over the canonical rendering of the inputs, so the same
+    point always draws the same seed in any process, on any platform,
+    under any execution order -- and distinct points or replicates draw
+    (effectively) independent seeds.
+    """
+    payload = canonical((base_seed, key, replicate)).encode()
+    raw = hashlib.sha256(payload).digest()
+    return int.from_bytes(raw[:8], "big") & (2**63 - 1)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One unit of sweep work: a kwargs combination at one replicate."""
+
+    index: int
+    kwargs: KwargsItems
+    replicate: int = 0
+    seed: Optional[int] = None
+    seed_arg: Optional[str] = None
+
+    def call_kwargs(self) -> Dict[str, Any]:
+        """The keyword arguments the point function is invoked with."""
+        out = dict(self.kwargs)
+        if self.seed_arg is not None:
+            out[self.seed_arg] = self.seed
+        return out
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identity (for progress and errors)."""
+        parts = [f"{name}={value!r}" for name, value in self.kwargs
+                 if not isinstance(value, (dict, list, tuple))
+                 and not hasattr(value, "__dataclass_fields__")]
+        if self.replicate or self.seed_arg:
+            parts.append(f"replicate={self.replicate}")
+        return ", ".join(parts) or f"point #{self.index}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of keyword-argument points for one picklable function.
+
+    Attributes:
+        fn: the point function.  Must be importable (module-level) for
+            multi-process execution; the runner falls back to in-process
+            execution for anything unpicklable.
+        grid: the parameter combinations, each a sorted tuple of
+            ``(name, value)`` pairs.
+        replicates: how many seeded repetitions of every combination.
+        base_seed: root of the deterministic seed derivation.
+        seed_arg: name of the keyword argument that receives the derived
+            seed (``None`` = the function is unseeded / deterministic,
+            and ``replicates`` must be 1).
+    """
+
+    fn: Callable[..., Any]
+    grid: Tuple[KwargsItems, ...]
+    replicates: int = 1
+    base_seed: int = 0
+    seed_arg: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.replicates < 1:
+            raise ConfigurationError(
+                f"replicates must be >= 1, got {self.replicates!r}")
+        if self.replicates > 1 and self.seed_arg is None:
+            raise ConfigurationError(
+                "replicates > 1 requires seed_arg: an unseeded function "
+                "would compute the identical value several times")
+        if not callable(self.fn):
+            raise ConfigurationError(f"fn must be callable, got {self.fn!r}")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        fn: Callable[..., Any],
+        points: Iterable[Mapping[str, Any]],
+        *,
+        fixed: Optional[Mapping[str, Any]] = None,
+        replicates: int = 1,
+        base_seed: int = 0,
+        seed_arg: Optional[str] = None,
+    ) -> "SweepSpec":
+        """A spec from an explicit list of kwargs dicts.
+
+        ``fixed`` supplies arguments shared by every point (a point may
+        override them).  Argument order within a point is canonicalised
+        by sorting, so two dicts with the same content are the same
+        point regardless of insertion order.
+        """
+        grid = tuple(
+            tuple(sorted({**(fixed or {}), **point}.items()))
+            for point in points)
+        return cls(fn=fn, grid=grid, replicates=replicates,
+                   base_seed=base_seed, seed_arg=seed_arg)
+
+    @classmethod
+    def from_grid(
+        cls,
+        fn: Callable[..., Any],
+        axes: Mapping[str, Sequence[Any]],
+        *,
+        fixed: Optional[Mapping[str, Any]] = None,
+        replicates: int = 1,
+        base_seed: int = 0,
+        seed_arg: Optional[str] = None,
+    ) -> "SweepSpec":
+        """A spec from the cartesian product of named axes.
+
+        ``axes={"algorithm": [...], "lam": [...]}`` produces every
+        (algorithm, lam) combination, in the row-major order of the
+        mapping's iteration.
+        """
+        if not axes:
+            raise ConfigurationError("a grid needs at least one axis")
+        names = list(axes)
+        points = (
+            dict(zip(names, combo))
+            for combo in itertools.product(*(axes[name] for name in names)))
+        return cls.from_points(fn, points, fixed=fixed, replicates=replicates,
+                               base_seed=base_seed, seed_arg=seed_arg)
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def points(self) -> List[SweepPoint]:
+        """Every (combination, replicate) pair, in deterministic order."""
+        out: List[SweepPoint] = []
+        for kwargs in self.grid:
+            for replicate in range(self.replicates):
+                seed = (derive_seed(self.base_seed, kwargs, replicate)
+                        if self.seed_arg is not None else None)
+                out.append(SweepPoint(
+                    index=len(out), kwargs=kwargs, replicate=replicate,
+                    seed=seed, seed_arg=self.seed_arg))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.grid) * self.replicates

@@ -10,7 +10,7 @@ from repro import errors
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -37,6 +37,51 @@ class TestPackageSurface:
 
     def test_algorithm_names_export(self):
         assert len(repro.ALGORITHM_NAMES) == 6
+
+
+class TestFacade:
+    """The repro.api experiment facade: evaluate / simulate / sweep."""
+
+    def test_evaluate_defaults_to_paper_params(self):
+        result = repro.evaluate("COUCOPY")
+        assert 3000 < result.overhead_per_txn < 4000
+
+    def test_simulate_is_callable_and_a_package(self):
+        outcome = repro.simulate("COUCOPY", scale=1024, duration=0.5,
+                                 lam=100.0)
+        assert outcome.clean and not outcome.crashed
+        assert outcome.metrics.transactions_committed > 0
+        # the facade call must not shadow the real subpackage
+        from repro.simulate.system import SimulatedSystem  # noqa: F401
+        import repro.simulate.system as system_module
+        assert hasattr(system_module, "SimulatedSystem")
+
+    def test_simulate_crash_verifies_recovery(self):
+        outcome = repro.simulate("COUCOPY", scale=1024, duration=0.5,
+                                 lam=100.0, crash=True, seed=3)
+        assert outcome.crashed
+        assert outcome.clean
+        assert outcome.recovery is not None
+        assert outcome.mismatches == []
+
+    def test_sweep_callable(self):
+        from repro.experiments.validation import run_validation
+        result = repro.sweep(
+            run_validation,
+            points=[{"algorithm": "COUCOPY"}],
+            fixed={"duration": 0.5, "warmup": 0.2, "seed": 1})
+        assert result.values()[0].algorithm == "COUCOPY"
+        assert result.failures() == []
+
+    def test_sweep_exports(self):
+        for name in ("SweepSpec", "SweepRunner", "SweepResult",
+                     "SweepError", "SimulationOutcome"):
+            assert hasattr(repro, name), name
+
+    def test_deprecated_alias_warns(self):
+        with pytest.warns(DeprecationWarning):
+            fn = repro.evaluate_all
+        assert callable(fn)
 
 
 class TestErrorHierarchy:
