@@ -76,6 +76,10 @@ class SimulationOutcome:
     metrics: SimulationMetrics
     recovery: Optional[RecoveryResult] = None
     mismatches: Optional[List[int]] = None
+    #: MetricsRegistry snapshot when the run had ``telemetry=True``;
+    #: ``None`` otherwise.  A plain dict, so outcomes stay picklable and
+    #: sweep caches can carry it (``SweepResult.merged_telemetry``).
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def crashed(self) -> bool:
@@ -129,8 +133,8 @@ def simulate(
         config: a fully-built :class:`SimulationConfig`; overrides every
             other configuration argument.
         **config_overrides: extra :class:`SimulationConfig` fields
-            (``trace=True``, ``cpu_mips=50.0``, ``logical_updates=True``,
-            ...).
+            (``trace=True``, ``telemetry=True``, ``cpu_mips=50.0``,
+            ``logical_updates=True``, ...).
 
     Returns:
         A :class:`SimulationOutcome`; ``outcome.clean`` asserts the
@@ -170,7 +174,8 @@ def simulate(
         recovery = system.recover()
         mismatches = system.verify_recovery()
     return SimulationOutcome(config=config, metrics=metrics,
-                             recovery=recovery, mismatches=mismatches)
+                             recovery=recovery, mismatches=mismatches,
+                             telemetry=system.telemetry_snapshot())
 
 
 def sweep(

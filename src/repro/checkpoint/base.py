@@ -43,6 +43,7 @@ from ..errors import CheckpointError, ConfigurationError
 from ..mmdb.database import Database
 from ..mmdb.locks import LockManager
 from ..mmdb.segment import Segment
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..params import SystemParameters
 from ..sim.engine import EventEngine
 from ..sim.timestamps import TimestampAuthority
@@ -74,6 +75,12 @@ class CheckpointStats:
     buffer_copies: int
     cou_copies: int
     words_written: int
+    #: simulated seconds transactions stayed quiesced at begin (COU only)
+    quiesce_time: float = 0.0
+    #: summed per-segment waits for the WAL condition before flushing
+    wal_wait_time: float = 0.0
+    #: summed per-segment image-write latencies (issue to completion)
+    io_time: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -99,6 +106,10 @@ class CheckpointRun:
     #: True while _begin work is still pending (e.g. a COU log force);
     #: the sweep starts only once the begin phase completes.
     deferred: bool = False
+    # phase timing accumulators (see CheckpointStats)
+    quiesce_time: float = 0.0
+    wal_wait_time: float = 0.0
+    io_time: float = 0.0
     # COU state
     tau_ch: int = 0              # tau(CH)
     watermark: int = -1          # highest segment index already secured
@@ -142,6 +153,7 @@ class BaseCheckpointer:
         io_depth: Optional[int] = None,
         quiesce_latency: bool = False,
         truncate_log: bool = True,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         if self.requires_stable_tail and not params.stable_log_tail:
             raise ConfigurationError(
@@ -157,6 +169,7 @@ class BaseCheckpointer:
         self.backup = backup
         self.array = array
         self.authority = authority
+        self.telemetry = telemetry
         self.scope = scope
         #: model the disk time of the begin-checkpoint log force (only the
         #: copy-on-update family quiesces transactions across it)
@@ -283,9 +296,24 @@ class BaseCheckpointer:
             buffer_copies=run.buffer_copies,
             cou_copies=run.cou_copies,
             words_written=run.words_written,
+            quiesce_time=run.quiesce_time,
+            wal_wait_time=run.wal_wait_time,
+            io_time=run.io_time,
         )
         self.history.append(stats)
         self.current = None
+        if self.telemetry.enabled:
+            registry = self.telemetry.registry
+            registry.count("ckpt.completed")
+            registry.count("ckpt.segments_flushed", stats.segments_flushed)
+            registry.count("ckpt.segments_skipped", stats.segments_skipped)
+            registry.count("ckpt.buffer_copies", stats.buffer_copies)
+            registry.count("ckpt.cou_copies", stats.cou_copies)
+            registry.count("ckpt.words_written", stats.words_written)
+            registry.observe("ckpt.duration", stats.duration)
+            registry.observe("ckpt.quiesce_time", stats.quiesce_time)
+            registry.observe("ckpt.wal_wait_time", stats.wal_wait_time)
+            registry.observe("ckpt.io_time", stats.io_time)
         if self.on_complete is not None:
             self.on_complete(stats)
 
@@ -334,10 +362,12 @@ class BaseCheckpointer:
         """
         self.log.assert_wal(reflected_lsn, context=f"{self.name} segment {index}")
         self.ledger.charge_io(synchronous=False)
-        completion = self.array.submit(self.engine.now, self.params.s_seg)
+        issued_at = self.engine.now
+        completion = self.array.submit(issued_at, self.params.s_seg)
         self.engine.schedule_at(
             completion,
-            lambda: self._write_done(run, index, data, data_timestamp, on_written),
+            lambda: self._write_done(run, index, data, data_timestamp,
+                                     on_written, issued_at),
             label=f"{self.name} write seg {index}",
         )
 
@@ -348,9 +378,17 @@ class BaseCheckpointer:
         data: np.ndarray,
         data_timestamp: float,
         on_written: Optional[Callable[[], None]],
+        issued_at: float = 0.0,
     ) -> None:
         if run is not self.current:
             return  # a crash abandoned this run; the write never completed
+        if self.telemetry.enabled:
+            # Phase accumulators (io_time, wal_wait_time) are collected
+            # only under telemetry: the clock reads are hot enough to
+            # show up in the disabled path's event loop otherwise.
+            latency = self.engine.now - issued_at
+            run.io_time += latency
+            self.telemetry.registry.observe("ckpt.write_latency", latency)
         run.image.write_segment(index, data, data_timestamp)
         run.segments_flushed += 1
         run.words_written += self.params.s_seg
@@ -391,6 +429,7 @@ class BaseCheckpointer:
         data_timestamp = segment.timestamp
         run.hold_slot()
         run.buffer_copies += 1
+        buffered_at = self.engine.now if self.telemetry.enabled else 0.0
         self.ledger.charge_alloc(synchronous=False)
         self.ledger.charge_copy(self.params.s_seg, synchronous=False)
         if self.uses_lsns:
@@ -404,6 +443,10 @@ class BaseCheckpointer:
         def stable() -> None:
             if run is not self.current:
                 return  # crash while waiting for the log flush
+            if self.telemetry.enabled:
+                wal_wait = self.engine.now - buffered_at
+                run.wal_wait_time += wal_wait
+                self.telemetry.registry.observe("ckpt.wal_wait", wal_wait)
             self._issue_write(run, index, data, data_timestamp,
                               reflected_lsn=reflected_lsn, on_written=written)
 

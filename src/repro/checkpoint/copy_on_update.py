@@ -65,6 +65,7 @@ class _CopyOnUpdateBase(BaseCheckpointer):
             def force_complete() -> None:
                 if run is not self.current:
                     return  # a crash abandoned the checkpoint mid-force
+                run.quiesce_time = self.engine.now - run.began_at
                 self._force_log_flush()
                 if manager is not None:
                     manager.resume()

@@ -55,6 +55,8 @@ class _TwoColorBase(BaseCheckpointer):
     # -- sweep helpers --------------------------------------------------------
     def _paint_black(self, segment: Segment) -> None:
         segment.painted_black = True
+        if self.telemetry.enabled:
+            self.telemetry.registry.count("ckpt.segments_painted")
 
     def _lock_shared(self, index: int) -> None:
         """Take the checkpointer's shared lock (always immediate here).

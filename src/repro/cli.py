@@ -12,20 +12,33 @@ Commands:
 * ``ablations``   -- the modelling-choice ablation table;
 * ``extensions``  -- the consistency-spectrum and latency extensions;
 * ``capacity``    -- throughput capacity per algorithm on a MIPS budget;
-* ``report``      -- regenerate the full report (tables + CSV + REPORT.md).
+* ``report``      -- regenerate the full report (tables + CSV + REPORT.md);
+* ``metrics``     -- telemetry report for one instrumented testbed run
+  (quantile tables, checkpoint phase timings, abort taxonomy, or JSON);
+* ``trace``       -- event-trace export/summary for one run, or for a
+  previously exported JSONL file.
+
+Sweep-backed commands (``figures``, ``validate``, ...) also accept
+``--trace-out PATH`` (JSONL stream of per-cell completion events) and
+``--verbose`` (per-cell progress lines on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import List, Optional
+import time
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional
 
 from .checkpoint.registry import ALL_ALGORITHM_NAMES
 from .checkpoint.scheduler import CheckpointPolicy
 from .model.evaluate import evaluate
+from .obs.presets import PRESET_NAMES, get_preset
 from .params import SystemParameters
+from .sim.trace import Tracer
 from .simulate.system import SimulatedSystem, SimulationConfig
 from .sweep import SweepRunner, default_cache_dir
 
@@ -43,16 +56,83 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute every point instead of reusing "
                              "the on-disk sweep result cache")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log one stderr line per completed sweep cell "
+                             "(done/total, cache hits, retries, failures)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a JSONL trace of sweep-cell completion "
+                             "events (wall-clock times) to PATH")
 
 
-def _sweep_runner(args: argparse.Namespace) -> SweepRunner:
+class _CommandTrace:
+    """Wall-clock tracer for a sweep-backed CLI command.
+
+    Sweep cells run in worker processes, so the simulator's own tracer
+    never sees them; this one records the parent-side lifecycle (command
+    begin/end, one event per completed cell) with wall-clock timestamps
+    relative to command start, in the same JSONL export format.
+    """
+
+    def __init__(self, command: str, **fields: Any) -> None:
+        self.command = command
+        self.tracer = Tracer(enabled=True)
+        self._t0 = time.time()
+        self.tracer.record(0.0, "command.begin", command=command, **fields)
+
+    def now(self) -> float:
+        return time.time() - self._t0
+
+    def on_cell(self, done: int, total: int, cell) -> None:
+        safe_kwargs = {
+            name: value if isinstance(value, (int, float, str, bool,
+                                              type(None))) else repr(value)
+            for name, value in cell.kwargs.items()
+        }
+        self.tracer.record(self.now(), "sweep.cell", done=done, total=total,
+                           replicate=cell.replicate, ok=cell.ok,
+                           cached=cell.cached, retried=cell.retried,
+                           kwargs=safe_kwargs)
+
+    def export(self, path: str, **meta: Any) -> None:
+        from .obs.export import export_run
+        self.tracer.record(self.now(), "command.end", command=self.command)
+        export_run(path, tracer=self.tracer,
+                   meta={"command": self.command, "wall_time": self.now(),
+                         **meta})
+        print(f"trace written to {path}", file=sys.stderr)
+
+
+def _command_trace(args: argparse.Namespace,
+                   command: str) -> Optional[_CommandTrace]:
+    if getattr(args, "trace_out", None):
+        return _CommandTrace(command)
+    return None
+
+
+def _sweep_runner(args: argparse.Namespace,
+                  trace: Optional[_CommandTrace] = None) -> SweepRunner:
     """Build the shared runner for one CLI invocation."""
     workers = args.workers if args.workers is not None else os.cpu_count()
-    progress = _progress_printer() if sys.stderr.isatty() else None
+    printer = _progress_printer() if sys.stderr.isatty() else None
+    if trace is not None:
+        progress = _compose_progress(trace.on_cell, printer)
+    else:
+        progress = printer
     return SweepRunner(
         workers=workers or 1,
         cache_dir=None if args.no_cache else default_cache_dir(),
-        progress=progress)
+        progress=progress,
+        verbose=getattr(args, "verbose", False))
+
+
+def _compose_progress(first, second):
+    if second is None:
+        return first
+
+    def progress(done: int, total: int, cell) -> None:
+        first(done, total, cell)
+        second(done, total, cell)
+    return progress
 
 
 def _progress_printer():
@@ -129,7 +209,53 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--fast", action="store_true",
                      help="model-only report (skip simulation sections)")
     _add_sweep_flags(rep)
+
+    met = sub.add_parser(
+        "metrics", help="telemetry report for one instrumented testbed run")
+    _add_run_flags(met)
+    met.add_argument("--json", action="store_true",
+                     help="machine-readable output (meta + summary + "
+                          "telemetry snapshot + checkpoint history)")
+    met.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="also export the full run (events + metrics) "
+                          "as JSONL to PATH")
+    met.add_argument("--load", default=None, metavar="PATH",
+                     help="render a previously exported JSONL run "
+                          "instead of simulating")
+
+    trc = sub.add_parser(
+        "trace", help="event-trace export / summary for one run")
+    _add_run_flags(trc)
+    trc.add_argument("--out", default=None, metavar="PATH",
+                     help="write the full run export (events + metrics) "
+                          "as JSONL to PATH")
+    trc.add_argument("--load", default=None, metavar="PATH",
+                     help="summarise an existing JSONL trace instead of "
+                          "simulating")
+    trc.add_argument("--tail", type=int, default=20, metavar="N",
+                     help="show the last N buffered events (default 20)")
     return parser
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    """One-run scenario flags shared by ``metrics`` and ``trace``."""
+    parser.add_argument("--preset", default=None, choices=list(PRESET_NAMES),
+                        help="named scenario (overrides the individual "
+                             "run flags below, except --duration)")
+    parser.add_argument("--algorithm", default="2CCOPY",
+                        choices=list(ALL_ALGORITHM_NAMES))
+    parser.add_argument("--scale", type=int, default=256,
+                        help="database scale-down factor vs the paper")
+    parser.add_argument("--lam", type=float, default=200.0,
+                        help="arrival rate, transactions/second")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds (default: the preset's, "
+                             "else 6)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--interval", type=float, default=None,
+                        help="checkpoint interval (default: back-to-back)")
+    parser.add_argument("--stable-tail", action="store_true",
+                        help="stable RAM holds the log tail")
 
 
 # ----------------------------------------------------------------------
@@ -143,7 +269,8 @@ def _cmd_tables(_args: argparse.Namespace) -> str:
 
 def _cmd_figures(args: argparse.Namespace) -> str:
     from .experiments import fig4a, fig4b, fig4c, fig4d, fig4e
-    runner = _sweep_runner(args)
+    trace = _command_trace(args, "figures")
+    runner = _sweep_runner(args, trace=trace)
     chosen = (["4a", "4b", "4c", "4d", "4e"] if args.which == "all"
               else [args.which])
     blocks = []
@@ -157,6 +284,8 @@ def _cmd_figures(args: argparse.Namespace) -> str:
             blocks.append(module.render())
     if args.plot:
         blocks.extend(_figure_plots(chosen, runner))
+    if trace is not None:
+        trace.export(args.trace_out, which=args.which)
     return "\n\n".join(blocks)
 
 
@@ -245,9 +374,12 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
 
 def _cmd_validate(args: argparse.Namespace) -> str:
     from .experiments import validation
+    trace = _command_trace(args, "validate")
     rows = validation.run_validation_suite(
         duration=args.duration, seed=args.seed,
-        replicates=args.replicates, runner=_sweep_runner(args))
+        replicates=args.replicates, runner=_sweep_runner(args, trace=trace))
+    if trace is not None:
+        trace.export(args.trace_out, duration=args.duration, seed=args.seed)
     return validation.render(rows)
 
 
@@ -258,21 +390,118 @@ def _cmd_ablations(_args: argparse.Namespace) -> str:
 
 def _cmd_extensions(args: argparse.Namespace) -> str:
     from .experiments import extensions
-    return extensions.render(replicates=args.replicates,
-                             runner=_sweep_runner(args))
+    trace = _command_trace(args, "extensions")
+    out = extensions.render(replicates=args.replicates,
+                            runner=_sweep_runner(args, trace=trace))
+    if trace is not None:
+        trace.export(args.trace_out)
+    return out
 
 
 def _cmd_capacity(args: argparse.Namespace) -> str:
     from .experiments import capacity
-    return capacity.render(mips=args.mips, runner=_sweep_runner(args))
+    trace = _command_trace(args, "capacity")
+    out = capacity.render(mips=args.mips,
+                          runner=_sweep_runner(args, trace=trace))
+    if trace is not None:
+        trace.export(args.trace_out, mips=args.mips)
+    return out
 
 
 def _cmd_report(args: argparse.Namespace) -> str:
     from .experiments.report import generate_report
+    trace = _command_trace(args, "report")
     path = generate_report(args.out, include_simulations=not args.fast,
                            replicates=args.replicates,
-                           runner=_sweep_runner(args))
+                           runner=_sweep_runner(args, trace=trace))
+    if trace is not None:
+        trace.export(args.trace_out, fast=args.fast)
     return f"report written to {path}"
+
+
+def _build_run(args: argparse.Namespace, *,
+               trace: bool) -> "tuple[SimulatedSystem, float, Dict[str, Any]]":
+    """One telemetry-instrumented system from a preset or run flags."""
+    if args.preset:
+        preset = get_preset(args.preset)
+        config = preset.build_config(telemetry=True, trace=trace)
+        duration = (args.duration if args.duration is not None
+                    else preset.duration)
+        meta = preset.meta()
+        meta["duration"] = duration
+    else:
+        params = SystemParameters.scaled_down(
+            args.scale, lam=args.lam, stable_log_tail=args.stable_tail)
+        config = SimulationConfig(
+            params=params, algorithm=args.algorithm, seed=args.seed,
+            policy=CheckpointPolicy(interval=args.interval),
+            preload_backup=True, telemetry=True, trace=trace)
+        duration = args.duration if args.duration is not None else 6.0
+        meta = {"algorithm": args.algorithm, "scale": args.scale,
+                "lam": args.lam, "duration": duration, "seed": args.seed}
+    return SimulatedSystem(config), duration, meta
+
+
+def _cmd_metrics(args: argparse.Namespace) -> str:
+    from .obs.export import export_system_run, load_run
+    from .obs.report import render_metrics_report
+    if args.load:
+        record = load_run(args.load)
+        payload: Dict[str, Any] = {
+            "meta": record.meta, "summary": record.summary,
+            "telemetry": record.telemetry,
+            "checkpoints": record.checkpoints,
+        }
+    else:
+        system, duration, meta = _build_run(args, trace=bool(args.trace_out))
+        metrics = system.run(duration)
+        payload = {
+            "meta": meta,
+            "summary": asdict(metrics),
+            "telemetry": system.telemetry_snapshot(),
+            "checkpoints": [asdict(stats)
+                            for stats in system.checkpointer.history],
+        }
+        if args.trace_out:
+            export_system_run(args.trace_out, system, meta=meta)
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.json:
+        return json.dumps(payload, sort_keys=True, indent=2)
+    return render_metrics_report(
+        summary=payload["summary"], telemetry=payload["telemetry"],
+        checkpoints=payload["checkpoints"], meta=payload["meta"])
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from .obs.export import export_system_run
+    if args.load:
+        tracer = Tracer.from_jsonl(args.load)
+        header = f"{args.load}: {len(tracer)} buffered events"
+    else:
+        system, duration, meta = _build_run(args, trace=True)
+        system.run(duration)
+        tracer = system.tracer
+        header = (f"{meta['algorithm']} seed={meta['seed']}: "
+                  f"{tracer.recorded} events recorded, "
+                  f"{tracer.dropped} dropped "
+                  f"(rate {tracer.drop_rate:.2%}), "
+                  f"{len(tracer)} buffered")
+        if args.out:
+            lines = export_system_run(args.out, system, meta=meta)
+            print(f"{lines} lines written to {args.out}", file=sys.stderr)
+    out = [header, "", "events by kind:"]
+    kinds = tracer.kinds()
+    for kind in sorted(kinds):
+        out.append(f"  {kind:24s} {kinds[kind]}")
+    tail = list(tracer)[-args.tail:] if args.tail > 0 else []
+    if tail:
+        out.append("")
+        out.append(f"last {len(tail)} events:")
+        for event in tail:
+            fields = " ".join(f"{name}={value}" for name, value
+                              in sorted(event.fields.items()))
+            out.append(f"  {event.time:10.6f}  {event.kind:20s} {fields}")
+    return "\n".join(out)
 
 
 _COMMANDS = {
@@ -285,6 +514,8 @@ _COMMANDS = {
     "extensions": _cmd_extensions,
     "capacity": _cmd_capacity,
     "report": _cmd_report,
+    "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
 }
 
 

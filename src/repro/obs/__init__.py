@@ -1,0 +1,51 @@
+"""Observability substrate: metrics, telemetry, run export, reports.
+
+The paper's argument is *measured* interference between checkpointing
+and transaction processing; this subsystem is the measuring equipment.
+
+* :mod:`repro.obs.metrics` -- counters, gauges, mergeable log-bucket
+  histograms, utilisation timelines, and the :class:`MetricsRegistry`
+  namespace holding them;
+* :mod:`repro.obs.telemetry` -- the :class:`Telemetry` handle every
+  instrumented component keys off (and its no-op default);
+* :mod:`repro.obs.export` -- JSONL run export/import: event stream plus
+  final metrics snapshot, round-tripping bit-identically;
+* :mod:`repro.obs.report` -- quantile tables, checkpoint phase timings,
+  abort taxonomy, timeline sparklines (the ``repro metrics`` output);
+* :mod:`repro.obs.presets` -- named scenarios for the CLI and CI.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog and event schema.
+"""
+
+from .export import RunRecord, export_run, export_system_run, load_run
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timeline,
+)
+from .report import render_merged_sweep_telemetry, render_metrics_report
+from .telemetry import NULL_TELEMETRY, Telemetry
+
+# NOTE: repro.obs.presets is deliberately NOT imported here -- it needs
+# repro.simulate.system, which itself imports repro.obs.telemetry, and
+# eagerly importing it from this __init__ would close that cycle while
+# simulate.system is still half-initialised.  Import it directly:
+# ``from repro.obs.presets import get_preset``.
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "RunRecord",
+    "Telemetry",
+    "Timeline",
+    "export_run",
+    "export_system_run",
+    "load_run",
+    "render_merged_sweep_telemetry",
+    "render_metrics_report",
+]

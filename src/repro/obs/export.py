@@ -1,0 +1,120 @@
+"""Run export/import: one JSONL file per run, events plus metrics.
+
+The export format is line-oriented JSON with three line shapes:
+
+* a **meta** header -- ``{"type": "meta", ...}`` with the scenario
+  identity (algorithm, seed, duration, preset name, ...);
+* zero or more **event** lines -- ``{"time": ..., "kind": ...,
+  "fields": {...}}``, exactly what :meth:`repro.sim.trace.Tracer.
+  write_jsonl` emits;
+* a **metrics** footer -- ``{"type": "metrics", "summary": {...},
+  "telemetry": {...}, "checkpoints": [...]}`` holding the final
+  :class:`~repro.simulate.system.SimulationMetrics` dict, the
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot, and the
+  per-checkpoint phase history.
+
+Every value is a plain JSON scalar/dict/list, so a file written by
+:func:`export_run` reloads with :func:`load_run` into exactly the
+structures that produced it -- the round-trip determinism contract
+``tests/test_obs.py`` enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING, Union
+
+from ..errors import ConfigurationError
+from ..sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..simulate.system import SimulatedSystem
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@dataclass
+class RunRecord:
+    """One exported run, reloaded."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    tracer: Tracer = field(default_factory=lambda: Tracer(enabled=True))
+    summary: Optional[Dict[str, Any]] = None
+    telemetry: Optional[Dict[str, Any]] = None
+    checkpoints: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def export_run(
+    path: PathLike,
+    *,
+    tracer: Optional[Tracer] = None,
+    summary: Optional[Dict[str, Any]] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
+    checkpoints: Optional[List[Dict[str, Any]]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write one run to ``path``; returns the number of lines written."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as fp:
+        header = {"type": "meta", **(meta or {})}
+        fp.write(json.dumps(header, sort_keys=True) + "\n")
+        lines += 1
+        if tracer is not None:
+            lines += tracer.write_jsonl(fp)
+        footer = {
+            "type": "metrics",
+            "summary": summary,
+            "telemetry": telemetry,
+            "checkpoints": checkpoints or [],
+        }
+        fp.write(json.dumps(footer, sort_keys=True) + "\n")
+        lines += 1
+    return lines
+
+
+def export_system_run(path: PathLike, system: "SimulatedSystem",
+                      meta: Optional[Dict[str, Any]] = None) -> int:
+    """Export a simulated system's trace, metrics, and checkpoint history."""
+    return export_run(
+        path,
+        tracer=system.tracer,
+        summary=asdict(system.metrics()),
+        telemetry=system.telemetry_snapshot(),
+        checkpoints=[asdict(stats) for stats in system.checkpointer.history],
+        meta={
+            "algorithm": system.config.algorithm,
+            "seed": system.config.seed,
+            "n_segments": system.params.n_segments,
+            "trace_dropped": system.tracer.dropped,
+            "trace_drop_rate": system.tracer.drop_rate,
+            **(meta or {}),
+        },
+    )
+
+
+def load_run(path: PathLike, capacity: int = 1_000_000) -> RunRecord:
+    """Reload an exported run (tolerates bare Tracer JSONL files too)."""
+    record = RunRecord(tracer=Tracer(capacity=capacity, enabled=True))
+    saw_any = False
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            saw_any = True
+            if "time" in data and "kind" in data:
+                record.tracer.append_dict(data)
+            elif data.get("type") == "meta":
+                record.meta = {k: v for k, v in data.items() if k != "type"}
+            elif data.get("type") == "metrics":
+                record.summary = data.get("summary")
+                record.telemetry = data.get("telemetry")
+                record.checkpoints = data.get("checkpoints") or []
+            else:
+                raise ConfigurationError(
+                    f"{path}: unrecognised line in run export: {line[:80]!r}")
+    if not saw_any:
+        raise ConfigurationError(f"{path}: empty run export")
+    return record

@@ -1,0 +1,185 @@
+"""Human-readable telemetry reports: quantile tables, phase timings,
+abort taxonomy, utilisation timelines.
+
+These renderers consume the *serialised* forms (metrics snapshot dicts,
+checkpoint-history dicts, summary dicts), so the same code formats a
+live run and a run reloaded from a JSONL export.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .metrics import Histogram, MetricsRegistry, Timeline
+
+QUANTILES: Tuple[float, ...] = (50.0, 90.0, 99.0)
+
+#: Timeline sparkline glyphs, lowest to highest utilisation.
+_SPARK = " .:-=+*#%@"
+
+
+def text_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+               title: str = "") -> str:
+    # Imported lazily: repro.experiments.__init__ pulls in driver modules
+    # that import repro.simulate.system, which imports repro.obs -- an
+    # eager import here would close that cycle at module-load time.
+    from ..experiments.common import text_table as _text_table
+    return _text_table(headers, rows, title=title)
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting across the ns-to-minutes range."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.001:
+        return f"{value:.3g}"
+    return f"{value:.4g}"
+
+
+def render_quantile_table(histograms: Dict[str, Any],
+                          title: str = "latency / size distributions") -> str:
+    """One row per histogram: count, mean, p50/p90/p99, max."""
+    rows: List[Sequence[object]] = []
+    for name in sorted(histograms):
+        hist = Histogram.from_dict(histograms[name])
+        if hist.count == 0:
+            continue
+        quantiles = hist.quantiles(QUANTILES)
+        rows.append([name, hist.count, _fmt(hist.mean)]
+                    + [_fmt(q) for q in quantiles]
+                    + [_fmt(hist.max)])
+    if not rows:
+        return f"{title}\n  (no samples)"
+    headers = ["metric", "count", "mean"] + [f"p{int(q)}" for q in QUANTILES] \
+        + ["max"]
+    return text_table(headers, rows, title=title)
+
+
+def render_counters(counters: Dict[str, Any], title: str = "counters") -> str:
+    rows = [[name, _fmt(float(counters[name]))] for name in sorted(counters)]
+    if not rows:
+        return f"{title}\n  (none)"
+    return text_table(["counter", "value"], rows, title=title)
+
+
+def render_timelines(timelines: Dict[str, Any],
+                     title: str = "utilisation timelines") -> str:
+    """One sparkline per timeline: busy fraction per window."""
+    lines = [title]
+    if not timelines:
+        lines.append("  (none)")
+        return "\n".join(lines)
+    for name in sorted(timelines):
+        timeline = Timeline.from_dict(timelines[name])
+        series = timeline.utilisation()
+        if not series:
+            continue
+        last_index = max(timeline.buckets)
+        dense = [timeline.buckets.get(i, 0.0) / timeline.window
+                 for i in range(0, last_index + 1)]
+        glyphs = "".join(
+            _SPARK[min(len(_SPARK) - 1, int(fraction * (len(_SPARK) - 1)))]
+            for fraction in dense[:120])
+        mean_util = sum(dense) / len(dense)
+        lines.append(f"  {name}  window={timeline.window:g}s "
+                     f"mean={mean_util:.0%}")
+        lines.append(f"    |{glyphs}|")
+    return "\n".join(lines)
+
+
+def render_checkpoint_phases(checkpoints: List[Dict[str, Any]]) -> str:
+    """Per-checkpoint phase timing table (from CheckpointStats dicts)."""
+    title = "checkpoint phase timings"
+    if not checkpoints:
+        return f"{title}\n  (no checkpoints completed)"
+    rows = []
+    for stats in checkpoints:
+        duration = stats["ended_at"] - stats["began_at"]
+        rows.append([
+            stats["checkpoint_id"], stats["image"],
+            _fmt(duration),
+            _fmt(stats.get("quiesce_time", 0.0)),
+            _fmt(stats.get("wal_wait_time", 0.0)),
+            _fmt(stats.get("io_time", 0.0)),
+            stats["segments_flushed"], stats["segments_skipped"],
+            stats["buffer_copies"], stats["cou_copies"],
+            stats["words_written"],
+        ])
+    return text_table(
+        ["ckpt", "img", "duration", "quiesce", "wal-wait", "io-time",
+         "flushed", "skipped", "buf-cp", "cow-cp", "words"],
+        rows, title=title)
+
+
+def render_abort_taxonomy(summary: Optional[Dict[str, Any]],
+                          counters: Dict[str, Any]) -> str:
+    """Aborts by cause, from the run summary and/or telemetry counters."""
+    title = "abort taxonomy"
+    causes: Dict[str, float] = {}
+    if summary:
+        for reason, count in (summary.get("aborts") or {}).items():
+            causes[reason] = causes.get(reason, 0) + count
+    else:
+        for name, value in counters.items():
+            if name.startswith("txn.aborts."):
+                reason = name[len("txn.aborts."):]
+                causes[reason] = causes.get(reason, 0) + value
+    if not causes:
+        return f"{title}\n  (no aborts)"
+    total = sum(causes.values())
+    rows = [[reason, int(causes[reason]), f"{causes[reason] / total:.1%}"]
+            for reason in sorted(causes)]
+    return text_table(["cause", "count", "share"], rows, title=title)
+
+
+def render_summary(summary: Dict[str, Any],
+                   title: str = "run summary") -> str:
+    rows = []
+    for key in sorted(summary):
+        value = summary[key]
+        if isinstance(value, dict):
+            value = value or "{}"
+        elif isinstance(value, float):
+            value = _fmt(value)
+        rows.append([key, value])
+    return text_table(["metric", "value"], rows, title=title)
+
+
+def render_metrics_report(
+    *,
+    summary: Optional[Dict[str, Any]] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
+    checkpoints: Optional[List[Dict[str, Any]]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> str:
+    """The full ``repro metrics`` breakdown, section by section."""
+    blocks: List[str] = []
+    if meta:
+        parts = ", ".join(f"{key}={meta[key]}" for key in sorted(meta))
+        blocks.append(f"run: {parts}")
+    if summary:
+        blocks.append(render_summary(summary))
+    registry = telemetry or {}
+    blocks.append(render_quantile_table(registry.get("histograms", {})))
+    blocks.append(render_checkpoint_phases(checkpoints or []))
+    blocks.append(render_abort_taxonomy(summary,
+                                        registry.get("counters", {})))
+    if registry.get("counters"):
+        blocks.append(render_counters(registry["counters"]))
+    if registry.get("timelines"):
+        blocks.append(render_timelines(registry["timelines"]))
+    return "\n\n".join(blocks)
+
+
+def render_merged_sweep_telemetry(
+        snapshots: Iterable[Optional[Dict[str, Any]]]) -> str:
+    """Quantile tables over the histograms merged across sweep cells."""
+    merged: MetricsRegistry = MetricsRegistry.merge_snapshots(snapshots)
+    snapshot = merged.snapshot()
+    blocks = [render_quantile_table(snapshot["histograms"],
+                                    title="merged sweep distributions")]
+    if snapshot["counters"]:
+        blocks.append(render_counters(snapshot["counters"],
+                                      title="merged sweep counters"))
+    return "\n\n".join(blocks)

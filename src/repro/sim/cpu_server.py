@@ -22,17 +22,20 @@ from __future__ import annotations
 from typing import Callable
 
 from ..errors import ConfigurationError
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .engine import EventEngine
 
 
 class CpuServer:
     """Single FIFO processor serving instruction batches."""
 
-    def __init__(self, engine: EventEngine, mips: float) -> None:
+    def __init__(self, engine: EventEngine, mips: float, *,
+                 telemetry: Telemetry = NULL_TELEMETRY) -> None:
         if mips <= 0:
             raise ConfigurationError(f"mips must be positive, got {mips!r}")
         self.engine = engine
         self.mips = mips
+        self.telemetry = telemetry
         self._free_at = 0.0
         self.busy_time = 0.0
         self.jobs_served = 0
@@ -60,6 +63,15 @@ class CpuServer:
         self.busy_time += service
         self.jobs_served += 1
         self.instructions_served += instructions
+        if self.telemetry.enabled:
+            registry = self.telemetry.registry
+            registry.count("cpu.jobs")
+            registry.count("cpu.instructions", instructions)
+            registry.count("cpu.busy_time", service)
+            registry.observe("cpu.service_time", service)
+            registry.observe("cpu.queue_wait", start - now)
+            # Busy-fraction-per-window: the utilisation *timeline*.
+            registry.add_busy("cpu.busy", start, service)
         self.engine.schedule_at(completion, callback, label="cpu job")
         return completion
 

@@ -9,9 +9,11 @@ print output.  Disabled tracers cost one predicate check per event.
 
 from __future__ import annotations
 
+import json
+import os
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, IO, Iterator, List, Optional, Union
 
 
 @dataclass(frozen=True)
@@ -43,10 +45,22 @@ class Tracer:
         """Append one event (no-op while disabled)."""
         if not self.enabled:
             return
-        if len(self._events) == self.capacity:
-            self.dropped += 1
+        # Count evictions by observing the ring, not by trusting the
+        # ``capacity`` attribute: if the ring was filled and capacity
+        # mutated (or tracing toggled) mid-run, the two can disagree, and
+        # the deque's silent eviction would go uncounted.
+        before = len(self._events)
         self._events.append(TraceEvent(time=time, kind=kind, fields=fields))
+        if len(self._events) == before:
+            self.dropped += 1
         self.recorded += 1
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of recorded events the ring has since evicted."""
+        if self.recorded == 0:
+            return 0.0
+        return self.dropped / self.recorded
 
     # -- queries ------------------------------------------------------------
     def __len__(self) -> int:
@@ -81,3 +95,47 @@ class Tracer:
         self._events.clear()
         self.dropped = 0
         self.recorded = 0
+
+    # -- JSONL export / import ----------------------------------------------
+    def event_dicts(self) -> Iterator[Dict[str, Any]]:
+        """Buffered events as plain-JSON dicts, oldest first."""
+        for event in self._events:
+            yield {"time": event.time, "kind": event.kind,
+                   "fields": event.fields}
+
+    def write_jsonl(self, fp: IO[str]) -> int:
+        """Write the buffered events, one JSON object per line."""
+        written = 0
+        for event in self.event_dicts():
+            fp.write(json.dumps(event, sort_keys=True) + "\n")
+            written += 1
+        return written
+
+    def to_jsonl(self, path: Union[str, "os.PathLike[str]"]) -> int:
+        """Write the event stream to ``path``; returns the event count."""
+        with open(path, "w", encoding="utf-8") as fp:
+            return self.write_jsonl(fp)
+
+    def append_dict(self, data: Dict[str, Any]) -> None:
+        """Re-insert one exported event dict (import counterpart)."""
+        self.record(data["time"], data["kind"], **data.get("fields", {}))
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, "os.PathLike[str]"],
+                   capacity: int = 100_000) -> "Tracer":
+        """Rebuild a tracer from a JSONL event stream.
+
+        Lines that are not trace events (e.g. the run-export header and
+        metrics footer written by :mod:`repro.obs.export`) are skipped,
+        so any file in the export format loads.
+        """
+        tracer = cls(capacity=capacity, enabled=True)
+        with open(path, "r", encoding="utf-8") as fp:
+            for line in fp:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                if "time" in data and "kind" in data:
+                    tracer.append_dict(data)
+        return tracer

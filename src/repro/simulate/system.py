@@ -31,6 +31,7 @@ from ..errors import ConfigurationError, InvalidStateError
 from ..mmdb.database import Database
 from ..mmdb.locks import LockManager
 from ..model.duration import minimum_duration
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..params import SystemParameters
 from ..recovery.restore import RecoveryManager, RecoveryResult
 from ..sim.engine import EventEngine
@@ -80,6 +81,12 @@ class SimulationConfig:
     #: record lifecycle events (arrivals, commits, aborts, checkpoints,
     #: crash/recovery) into ``system.tracer`` for inspection
     trace: bool = False
+    #: collect quantitative telemetry (counters, gauges, histograms,
+    #: utilisation timelines) into ``system.telemetry`` -- the
+    #: :mod:`repro.obs` substrate.  Off by default; disabled overhead is
+    #: one predicate per instrumented event.  Telemetry never feeds back
+    #: into the simulation, so results are identical either way.
+    telemetry: bool = False
     #: logical (transition) logging: transactions increment records and
     #: log deltas.  Recovery is only sound over a snapshot-exact backup
     #: (copy-on-update checkpoints); see tests/test_logical_logging.
@@ -134,12 +141,15 @@ class SimulatedSystem:
         self.authority = TimestampAuthority()
         self.ledger = CostLedger(OperationCosts.from_params(self.params))
         self.database = Database(self.params)
-        self.log = LogManager(self.params)
+        self.telemetry = (Telemetry(enabled=True) if config.telemetry
+                          else NULL_TELEMETRY)
+        self.log = LogManager(self.params, telemetry=self.telemetry)
         self.locks = LockManager()
-        self.array = DiskArray(self.params)
+        self.array = DiskArray(self.params, telemetry=self.telemetry)
         self.backup = BackupStore(self.params)
         self.oracle = CommittedStateOracle(self.params)
-        self.cpu = (CpuServer(self.engine, config.cpu_mips)
+        self.cpu = (CpuServer(self.engine, config.cpu_mips,
+                              telemetry=self.telemetry)
                     if config.cpu_mips is not None else None)
         backoff = config.restart_backoff
         if backoff is None:
@@ -153,6 +163,7 @@ class SimulatedSystem:
             logical_updates=config.logical_updates,
             flush_on_commit=config.log_flush_on_commit,
             cpu_server=self.cpu,
+            telemetry=self.telemetry,
         )
         self.checkpointer: BaseCheckpointer = create_checkpointer(
             config.algorithm,
@@ -161,6 +172,7 @@ class SimulatedSystem:
             scope=config.scope, io_depth=config.io_depth,
             quiesce_latency=config.cou_quiesce_latency,
             truncate_log=config.truncate_log,
+            telemetry=self.telemetry,
         )
         self.checkpointer.attach_transaction_manager(self.txn_manager)
         self.scheduler = CheckpointScheduler(
@@ -361,6 +373,12 @@ class SimulatedSystem:
     # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------
+    def telemetry_snapshot(self) -> Optional[Dict]:
+        """The run's telemetry as a plain-JSON dict (None when disabled)."""
+        if not self.telemetry.enabled:
+            return None
+        return self.telemetry.snapshot()
+
     def metrics(self) -> SimulationMetrics:
         stats = self.txn_manager.stats
         history = self.checkpointer.history

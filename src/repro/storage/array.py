@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import List
 
 from ..errors import ConfigurationError
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..params import SystemParameters
 from .disk import Disk
 
@@ -25,11 +26,14 @@ from .disk import Disk
 class DiskArray:
     """A bank of identical disks with ideal load balancing."""
 
-    def __init__(self, params: SystemParameters, name: str = "backup") -> None:
+    def __init__(self, params: SystemParameters, name: str = "backup",
+                 *, telemetry: Telemetry = NULL_TELEMETRY) -> None:
         self.params = params
         self.name = name
+        self.telemetry = telemetry
         self.disks: List[Disk] = [
-            Disk(params.t_seek, params.t_trans, name=f"{name}-{i}")
+            Disk(params.t_seek, params.t_trans, name=f"{name}-{i}",
+                 telemetry=telemetry, metric_prefix=f"disk.{name}")
             for i in range(params.n_bdisks)
         ]
 
@@ -37,6 +41,11 @@ class DiskArray:
     def submit(self, now: float, words: int) -> float:
         """Send one request to the earliest-free disk; returns completion."""
         disk = min(self.disks, key=lambda d: d.free_at)
+        if self.telemetry.enabled:
+            # Array queue depth at submission: disks still busy now.
+            self.telemetry.registry.observe(
+                f"disk.{self.name}.queue_depth",
+                sum(1 for d in self.disks if d.free_at > now))
         return disk.submit(now, words)
 
     @property

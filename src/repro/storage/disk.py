@@ -9,12 +9,15 @@ reports.
 from __future__ import annotations
 
 from ..errors import ConfigurationError
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 
 
 class Disk:
     """One backup/log disk with seek-plus-transfer service times."""
 
-    def __init__(self, t_seek: float, t_trans: float, name: str = "disk") -> None:
+    def __init__(self, t_seek: float, t_trans: float, name: str = "disk",
+                 *, telemetry: Telemetry = NULL_TELEMETRY,
+                 metric_prefix: str = "disk") -> None:
         if t_seek < 0 or t_trans <= 0:
             raise ConfigurationError(
                 f"invalid disk timing (t_seek={t_seek!r}, t_trans={t_trans!r})"
@@ -26,6 +29,10 @@ class Disk:
         self.busy_time = 0.0
         self.requests = 0
         self.words_transferred = 0
+        #: shared across the disks of one array (one distribution per
+        #: array, not one per spindle) -- see docs/OBSERVABILITY.md
+        self.telemetry = telemetry
+        self.metric_prefix = metric_prefix
 
     def service_time(self, words: int) -> float:
         """Seconds to serve one request of ``words`` words."""
@@ -44,6 +51,15 @@ class Disk:
         self.busy_time += service
         self.requests += 1
         self.words_transferred += words
+        if self.telemetry.enabled:
+            registry = self.telemetry.registry
+            prefix = self.metric_prefix
+            registry.count(prefix + ".requests")
+            registry.count(prefix + ".words", words)
+            registry.count(prefix + ".busy_time", service)
+            registry.observe(prefix + ".service_time", service)
+            registry.observe(prefix + ".queue_wait", start - now)
+            registry.add_busy(prefix + ".busy", start, service)
         return self.free_at
 
     def utilisation(self, elapsed: float) -> float:

@@ -20,14 +20,20 @@ from __future__ import annotations
 
 import os
 import pickle
+import sys
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple,
+)
 
 from ..errors import ConfigurationError, SweepError
 from .cache import MISS, PathLike, ResultCache, point_key
 from .spec import SweepPoint, SweepSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..obs.metrics import MetricsRegistry
 
 #: ``progress(done, total, cell)`` callback type.
 ProgressCallback = Callable[[int, int, "SweepCell"], None]
@@ -53,6 +59,23 @@ class SweepCell:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def telemetry(self) -> Optional[Dict[str, Any]]:
+        """The cell value's telemetry snapshot, if it carries one.
+
+        Works for :class:`~repro.api.SimulationOutcome` values (attribute)
+        and for plain dict values with a ``"telemetry"`` key; ``None``
+        otherwise, including for failed cells.
+        """
+        if not self.ok:
+            return None
+        value = self.value
+        if isinstance(value, dict):
+            snapshot = value.get("telemetry")
+        else:
+            snapshot = getattr(value, "telemetry", None)
+        return snapshot if isinstance(snapshot, dict) else None
 
 
 @dataclass
@@ -102,6 +125,23 @@ class SweepResult:
                              []).append(cell)
         return [(dict(key), cells) for key, cells in keyed.items()]
 
+    def telemetry_snapshots(self) -> List[Dict[str, Any]]:
+        """Telemetry snapshots of the successful cells that carry one."""
+        return [snap for snap in (cell.telemetry for cell in self.cells)
+                if snap is not None]
+
+    def merged_telemetry(self) -> "MetricsRegistry":
+        """One registry with every cell's telemetry merged in.
+
+        Histograms merge bucket-wise (associative, so the result is
+        independent of cell order up to float summation), counters add,
+        gauges keep the last writer.  Cells without telemetry (failed, or
+        run with telemetry off) contribute nothing.
+        """
+        from ..obs.metrics import MetricsRegistry
+
+        return MetricsRegistry.merge_snapshots(self.telemetry_snapshots())
+
     def aggregate(
         self,
         metric: Callable[[Any], float],
@@ -135,6 +175,7 @@ class SweepRunner:
         cache_dir: Optional[PathLike] = None,
         progress: Optional[ProgressCallback] = None,
         retries: int = 1,
+        verbose: bool = False,
     ) -> None:
         """
         Args:
@@ -145,6 +186,8 @@ class SweepRunner:
             progress: ``progress(done, total, cell)`` completion callback.
             retries: how many times a raising point is re-attempted
                 (in the parent process) before its cell is marked failed.
+            verbose: log one stderr line per completed cell (done/total
+                plus running cache-hit / retry / failure tallies).
         """
         if workers is None:
             workers = os.cpu_count() or 1
@@ -156,6 +199,8 @@ class SweepRunner:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
         self.retries = retries
+        self.verbose = verbose
+        self._tallies = {"cached": 0, "retried": 0, "failed": 0}
 
     # ------------------------------------------------------------------
     # public API
@@ -164,6 +209,7 @@ class SweepRunner:
         """Execute every point of ``spec``; never raises for point errors."""
         points = spec.points()
         total = len(points)
+        self._tallies = {"cached": 0, "retried": 0, "failed": 0}
         cells: List[SweepCell] = [
             SweepCell(kwargs=dict(pt.kwargs), replicate=pt.replicate,
                       seed=pt.seed)
@@ -268,6 +314,21 @@ class SweepRunner:
             self.cache.put(key, cell.value)
 
     def _report(self, done: int, total: int, cell: SweepCell) -> None:
+        if self.verbose:
+            tallies = self._tallies
+            tallies["cached"] += cell.cached
+            tallies["retried"] += cell.retried
+            tallies["failed"] += not cell.ok
+            status = ("cached" if cell.cached
+                      else "FAILED" if not cell.ok
+                      else "retried" if cell.retried
+                      else "ok")
+            params = ", ".join(f"{name}={value!r}"
+                               for name, value in sorted(cell.kwargs.items()))
+            print(f"[sweep {done}/{total}] {status:<7} rep={cell.replicate} "
+                  f"{{{params}}} (cached={tallies['cached']} "
+                  f"retried={tallies['retried']} failed={tallies['failed']})",
+                  file=sys.stderr)
         if self.progress is not None:
             self.progress(done, total, cell)
 

@@ -40,6 +40,7 @@ import numpy as np
 from ..cpu.accounting import CostCategory, CostLedger
 from ..errors import TransactionAborted
 from ..mmdb.database import Database
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..mmdb.locks import LockManager, LockMode
 from ..mmdb.segment import Segment
 from ..sim.cpu_server import CpuServer
@@ -136,6 +137,7 @@ class TransactionManager:
         logical_updates: bool = False,
         flush_on_commit: bool = False,
         cpu_server: Optional[CpuServer] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         self.database = database
         self.log = log
@@ -157,6 +159,7 @@ class TransactionManager:
         #: instructions are served FIFO before its logic runs, so response
         #: times grow with CPU utilisation (None = infinitely fast CPU)
         self.cpu_server = cpu_server
+        self.telemetry = telemetry
         self.coordinator: CheckpointCoordinator = _NullCoordinator()
         self.stats = TransactionStats()
         #: optional observers (the simulator wires these to its tracer)
@@ -221,6 +224,8 @@ class TransactionManager:
         if self._quiesced:
             self._quiesce_queue.append(txn)
             self.stats.quiesce_delays += 1
+            if self.telemetry.enabled:
+                self.telemetry.registry.count("txn.quiesce_delays")
             return
         if self.cpu_server is None:
             self._execute(txn)
@@ -233,6 +238,8 @@ class TransactionManager:
         if self._quiesced:
             self._quiesce_queue_served.append(txn)
             self.stats.quiesce_delays += 1
+            if self.telemetry.enabled:
+                self.telemetry.registry.count("txn.quiesce_delays")
             return
         self._execute(txn)
 
@@ -301,11 +308,17 @@ class TransactionManager:
         txn.state = TransactionState.WAITING
         self._waiting[txn.txn_id] = txn
         self.stats.lock_waits += 1
+        waited_from = self.engine.now if self.telemetry.enabled else 0.0
+        if self.telemetry.enabled:
+            self.telemetry.registry.count("txn.lock_waits")
 
         def granted() -> None:
             # We only queued to learn when the blocker releases; give the
             # slot back immediately and redo the whole attempt (the paint /
             # snapshot state may have moved while we waited).
+            if self.telemetry.enabled:
+                self.telemetry.registry.observe(
+                    "txn.lock_wait.time", self.engine.now - waited_from)
             self.locks.release(segment_index, txn.txn_id)
             self._waiting.pop(txn.txn_id, None)
             txn.restamp(self.authority.next())
@@ -337,6 +350,11 @@ class TransactionManager:
         txn.state = TransactionState.COMMITTED
         txn.commit_time = now
         self.stats.record_commit(now - txn.arrival_time)
+        if self.telemetry.enabled:
+            registry = self.telemetry.registry
+            registry.count("txn.commits")
+            registry.observe("txn.commit.latency", now - txn.arrival_time)
+            registry.observe("txn.commit.attempts", txn.attempts)
         self._committed_log.append(txn)
         if self.flush_on_commit:
             result = self.log.flush()
@@ -351,6 +369,11 @@ class TransactionManager:
     def _handle_abort(self, txn: Transaction, abort: TransactionAborted) -> None:
         txn.state = TransactionState.ABORTED
         self.stats.record_abort(abort.reason)
+        if self.telemetry.enabled:
+            registry = self.telemetry.registry
+            registry.count("txn.aborts." + abort.reason)
+            registry.observe("txn.abort.latency",
+                             self.engine.now - txn.arrival_time)
         if self.on_abort is not None:
             self.on_abort(txn, abort.reason)
         self._log_aborted_attempt(txn)

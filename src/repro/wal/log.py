@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import InvalidStateError, WALViolation
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..params import SystemParameters
 from .lsn import LSNAllocator
 from .records import (
@@ -54,8 +55,10 @@ class FlushResult:
 class LogManager:
     """REDO-only log with a volatile (or stable-RAM) tail."""
 
-    def __init__(self, params: SystemParameters) -> None:
+    def __init__(self, params: SystemParameters, *,
+                 telemetry: Telemetry = NULL_TELEMETRY) -> None:
         self.params = params
+        self.telemetry = telemetry
         self.stable_tail = params.stable_log_tail
         self._allocator = LSNAllocator()
         self._tail: List[LogRecord] = []
@@ -81,7 +84,12 @@ class LogManager:
     # -- appends --------------------------------------------------------------
     def _append(self, make: Callable[[int], LogRecord]) -> LogRecord:
         record = make(self._allocator.allocate())
-        self.words_appended += self.record_size_words(record)
+        words = self.record_size_words(record)
+        self.words_appended += words
+        if self.telemetry.enabled:
+            registry = self.telemetry.registry
+            registry.count("wal.appends")
+            registry.count("wal.words_appended", words)
         if self.stable_tail:
             # Stable RAM: the record is durable the moment it is written.
             self._stable.append(record)
@@ -179,6 +187,20 @@ class LogManager:
         words = self.tail_words
         count = len(self._tail)
         if count:
+            if self.telemetry.enabled:
+                registry = self.telemetry.registry
+                registry.count("wal.flushes")
+                registry.count("wal.words_flushed", words)
+                registry.observe("wal.flush.records", count)
+                registry.observe("wal.flush.words", words)
+                # How far the stable horizon trailed the append horizon
+                # the moment this flush caught it up.
+                registry.observe("wal.flush.lsn_lag",
+                                 self.last_lsn - self._stable_lsn)
+                # Modelled one-request disk time of the flush itself.
+                registry.observe("wal.flush.latency",
+                                 self.params.t_seek
+                                 + self.params.t_trans * words)
             self._stable.extend(self._tail)
             self._newly_stable.extend(self._tail)
             self._stable_lsn = self._tail[-1].lsn
