@@ -40,6 +40,7 @@ from .checkpoint import (
     CheckpointScope,
 )
 from .errors import ReproError, SweepError
+from .faults import CrashSpec, FaultPlan, IOFaultSpec
 from .model import ModelResult
 from .params import PAPER_DEFAULTS, SystemParameters
 from .simulate import SimulatedSystem, SimulationConfig
@@ -76,6 +77,9 @@ __all__ = [
     "AccessDistribution",
     "CheckpointPolicy",
     "CheckpointScope",
+    "CrashSpec",
+    "FaultPlan",
+    "IOFaultSpec",
     "ModelResult",
     "PAPER_DEFAULTS",
     "ReproError",

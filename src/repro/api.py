@@ -35,7 +35,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from .checkpoint.base import CheckpointScope
 from .checkpoint.scheduler import CheckpointPolicy
-from .errors import ConfigurationError
+from .errors import ConfigurationError, CrashError
+from .faults.plan import FaultPlan
 from .model.evaluate import ModelOptions, ModelResult
 from .model.evaluate import evaluate as _model_evaluate
 from .params import SystemParameters
@@ -75,7 +76,9 @@ class SimulationOutcome:
     config: SimulationConfig
     metrics: SimulationMetrics
     recovery: Optional[RecoveryResult] = None
-    mismatches: Optional[List[int]] = None
+    #: :class:`~repro.simulate.oracle.RecordMismatch` entries (record id
+    #: plus expected/recovered values); empty list = recovery verified
+    mismatches: Optional[List[Any]] = None
     #: MetricsRegistry snapshot when the run had ``telemetry=True``;
     #: ``None`` otherwise.  A plain dict, so outcomes stay picklable and
     #: sweep caches can carry it (``SweepResult.merged_telemetry``).
@@ -104,6 +107,7 @@ def simulate(
     interval: Optional[float] = None,
     crash: bool = False,
     stable_tail: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
     config: Optional[SimulationConfig] = None,
     **config_overrides: Any,
 ) -> SimulationOutcome:
@@ -130,6 +134,11 @@ def simulate(
         crash: inject a crash at the end and verify recovery.
         stable_tail: stable RAM holds the log tail (required for
             FASTFUZZY).
+        fault_plan: a :class:`~repro.faults.plan.FaultPlan` arming the
+            deterministic fault injector (mid-run crash triggers, torn
+            writes, transient I/O errors).  A crash the plan injects is
+            completed, recovered, and oracle-verified exactly like
+            ``crash=True`` -- the metrics then cover the truncated run.
         config: a fully-built :class:`SimulationConfig`; overrides every
             other configuration argument.
         **config_overrides: extra :class:`SimulationConfig` fields
@@ -155,6 +164,7 @@ def simulate(
             seed=seed,
             policy=CheckpointPolicy(interval=interval),
             preload_backup=True,
+            fault_plan=fault_plan,
             **config_overrides,
         )
     elif config_overrides:
@@ -163,13 +173,20 @@ def simulate(
             f"not both (got {sorted(config_overrides)!r})")
 
     system = SimulatedSystem(config)
-    if warmup > 0:
-        system.run(warmup)
-        system.reset_measurements()
-    metrics = system.run(duration)
+    crashed_by_fault = False
+    try:
+        if warmup > 0:
+            system.run(warmup)
+            system.reset_measurements()
+        metrics = system.run(duration)
+    except CrashError:
+        # The armed fault plan pulled the plug mid-run; metrics cover
+        # what completed before the lights went out.
+        crashed_by_fault = True
+        metrics = system.metrics()
     recovery: Optional[RecoveryResult] = None
-    mismatches: Optional[List[int]] = None
-    if crash:
+    mismatches: Optional[List[Any]] = None
+    if crash or crashed_by_fault:
         system.crash()
         recovery = system.recover()
         mismatches = system.verify_recovery()

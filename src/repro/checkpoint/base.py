@@ -40,6 +40,7 @@ import numpy as np
 
 from ..cpu.accounting import CostLedger
 from ..errors import CheckpointError, ConfigurationError
+from ..faults.injector import NULL_INJECTOR, FaultInjector
 from ..mmdb.database import Database
 from ..mmdb.locks import LockManager
 from ..mmdb.segment import Segment
@@ -154,6 +155,7 @@ class BaseCheckpointer:
         quiesce_latency: bool = False,
         truncate_log: bool = True,
         telemetry: Telemetry = NULL_TELEMETRY,
+        faults: FaultInjector = NULL_INJECTOR,
     ) -> None:
         if self.requires_stable_tail and not params.stable_log_tail:
             raise ConfigurationError(
@@ -170,6 +172,9 @@ class BaseCheckpointer:
         self.array = array
         self.authority = authority
         self.telemetry = telemetry
+        #: fault-injection handle (phase-crash triggers, torn-write
+        #: bookkeeping); :data:`NULL_INJECTOR` when no plan is armed
+        self.faults = faults
         self.scope = scope
         #: model the disk time of the begin-checkpoint log force (only the
         #: copy-on-update family quiesces transactions across it)
@@ -246,6 +251,8 @@ class BaseCheckpointer:
             active_txns=active,
             image=run.image.index,
         )
+        if self.faults.armed:
+            self.faults.on_checkpoint_phase("begin", run.checkpoint_id, 0)
 
     def _advance(self, run: CheckpointRun) -> None:
         """Drive the sweep: process segments while pump slots are free."""
@@ -264,6 +271,11 @@ class BaseCheckpointer:
         raise NotImplementedError
 
     def _finish(self, run: CheckpointRun) -> None:
+        if self.faults.armed:
+            # "end" fires with every segment secured but the end marker
+            # not yet logged: the checkpoint must be unusable to recovery.
+            self.faults.on_checkpoint_phase("end", run.checkpoint_id,
+                                            run.segments_flushed)
         run.finished = True
         self._end(run)
         begin_lsn = run.begin_marker.lsn if run.begin_marker is not None else 0
@@ -362,6 +374,11 @@ class BaseCheckpointer:
         """
         self.log.assert_wal(reflected_lsn, context=f"{self.name} segment {index}")
         self.ledger.charge_io(synchronous=False)
+        if self.faults.armed:
+            # From here until _write_done the transfer is in flight: a
+            # crash may tear it (see FaultInjector.on_system_crash).
+            self.faults.note_write_issued(run.image, index, data,
+                                          data_timestamp)
         issued_at = self.engine.now
         completion = self.array.submit(issued_at, self.params.s_seg)
         self.engine.schedule_at(
@@ -380,6 +397,8 @@ class BaseCheckpointer:
         on_written: Optional[Callable[[], None]],
         issued_at: float = 0.0,
     ) -> None:
+        if self.faults.armed:
+            self.faults.note_write_completed(run.image.index, index)
         if run is not self.current:
             return  # a crash abandoned this run; the write never completed
         if self.telemetry.enabled:
@@ -392,6 +411,11 @@ class BaseCheckpointer:
         run.image.write_segment(index, data, data_timestamp)
         run.segments_flushed += 1
         run.words_written += self.params.s_seg
+        if self.faults.armed:
+            # "sweep" fires with the N-th segment write fully durable in
+            # the image but later segments (and the end marker) lost.
+            self.faults.on_checkpoint_phase("sweep", run.checkpoint_id,
+                                            run.segments_flushed)
         self._maintain_dirty_bit(index)
         if on_written is not None:
             on_written()

@@ -65,6 +65,13 @@ class _CopyOnUpdateBase(BaseCheckpointer):
             def force_complete() -> None:
                 if run is not self.current:
                     return  # a crash abandoned the checkpoint mid-force
+                if self.faults.armed:
+                    # Crash while transactions are quiesced and the log
+                    # force is still in flight: the begin marker may be
+                    # volatile, so recovery must use the previous
+                    # checkpoint.
+                    self.faults.on_checkpoint_phase(
+                        "quiesce", run.checkpoint_id, 0)
                 run.quiesce_time = self.engine.now - run.began_at
                 self._force_log_flush()
                 if manager is not None:

@@ -57,6 +57,11 @@ class _TwoColorBase(BaseCheckpointer):
         segment.painted_black = True
         if self.telemetry.enabled:
             self.telemetry.registry.count("ckpt.segments_painted")
+        if self.faults.armed and self.current is not None:
+            # Crash with the database part-white, part-black: recovery
+            # must fall back to the previous complete image.
+            self.faults.on_checkpoint_phase(
+                "paint", self.current.checkpoint_id, segment.index)
 
     def _lock_shared(self, index: int) -> None:
         """Take the checkpointer's shared lock (always immediate here).

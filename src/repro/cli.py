@@ -16,7 +16,10 @@ Commands:
 * ``metrics``     -- telemetry report for one instrumented testbed run
   (quantile tables, checkpoint phase timings, abort taxonomy, or JSON);
 * ``trace``       -- event-trace export/summary for one run, or for a
-  previously exported JSONL file.
+  previously exported JSONL file;
+* ``faults``      -- deterministic fault injection: run one fault plan
+  (crash / torn writes / transient I/O) with verified recovery, or a
+  seeded crash matrix over every algorithm (``--matrix N``).
 
 Sweep-backed commands (``figures``, ``validate``, ...) also accept
 ``--trace-out PATH`` (JSONL stream of per-cell completion events) and
@@ -33,8 +36,9 @@ import time
 from dataclasses import asdict
 from typing import Any, Dict, List, Optional
 
-from .checkpoint.registry import ALL_ALGORITHM_NAMES
+from .checkpoint.registry import ALGORITHM_NAMES, ALL_ALGORITHM_NAMES
 from .checkpoint.scheduler import CheckpointPolicy
+from .faults.plan import CRASH_PHASES
 from .model.evaluate import evaluate
 from .obs.presets import PRESET_NAMES, get_preset
 from .params import SystemParameters
@@ -234,6 +238,64 @@ def build_parser() -> argparse.ArgumentParser:
                           "simulating")
     trc.add_argument("--tail", type=int, default=20, metavar="N",
                      help="show the last N buffered events (default 20)")
+
+    flt = sub.add_parser(
+        "faults",
+        help="fault injection with verified crash recovery")
+    flt.add_argument("--algorithm", default="FUZZYCOPY",
+                     choices=list(ALL_ALGORITHM_NAMES))
+    flt.add_argument("--duration", type=float, default=10.0,
+                     help="simulated seconds before the end-of-run crash")
+    flt.add_argument("--seed", type=int, default=0,
+                     help="system (workload) seed")
+    flt.add_argument("--scale", type=int, default=256,
+                     help="database scale-down factor vs the paper")
+    flt.add_argument("--lam", type=float, default=200.0,
+                     help="arrival rate, transactions/second")
+    flt.add_argument("--interval", type=float, default=1.0,
+                     help="checkpoint interval in seconds")
+    flt.add_argument("--plan", default=None, metavar="FILE",
+                     help="JSON fault plan (FaultPlan.to_dict format; "
+                          "'-' reads stdin); overrides the plan flags")
+    flt.add_argument("--fault-seed", type=int, default=0,
+                     help="seed of the plan's private fault RNG")
+    flt.add_argument("--crash-at", type=float, default=None, metavar="T",
+                     help="crash at simulated time T")
+    flt.add_argument("--crash-after-writes", type=int, default=None,
+                     metavar="N", help="crash at the N-th backup-disk write")
+    flt.add_argument("--crash-phase", default=None,
+                     choices=list(CRASH_PHASES),
+                     help="crash when a checkpoint reaches this phase")
+    flt.add_argument("--crash-checkpoint", type=int, default=1, metavar="K",
+                     help="which checkpoint the phase trigger targets")
+    flt.add_argument("--crash-after-flushes", type=int, default=1,
+                     metavar="N",
+                     help="sweep/paint progress count that triggers")
+    flt.add_argument("--crash-at-log-flush", type=int, default=None,
+                     metavar="N",
+                     help="crash at the N-th non-empty log flush "
+                          "(lost-tail crash)")
+    flt.add_argument("--torn-writes", action="store_true",
+                     help="tear segment writes in flight at the crash")
+    flt.add_argument("--io-error-rate", type=float, default=0.0,
+                     help="per-attempt transient disk failure probability")
+    flt.add_argument("--io-retries", type=int, default=4,
+                     help="retry budget before MediaError")
+    flt.add_argument("--io-backoff", type=float, default=0.002,
+                     help="first retry backoff in seconds (doubles)")
+    flt.add_argument("--latency-spike-rate", type=float, default=0.0,
+                     help="probability a disk request suffers a spike")
+    flt.add_argument("--latency-spike", type=float, default=0.05,
+                     help="added delay of one spike, seconds")
+    flt.add_argument("--matrix", type=int, default=None, metavar="N",
+                     help="run N seeded-random plans against every "
+                          "algorithm (sweep mode) instead of one plan")
+    flt.add_argument("--algorithms", default=None,
+                     help="comma-separated algorithm list for --matrix "
+                          "(default: the paper's six)")
+    flt.add_argument("--json", action="store_true",
+                     help="machine-readable report(s)")
+    _add_sweep_flags(flt)
     return parser
 
 
@@ -504,6 +566,110 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     return "\n".join(out)
 
 
+def _faults_plan(args: argparse.Namespace) -> "FaultPlan":
+    """Build the fault plan from --plan JSON or the individual flags."""
+    from .faults.plan import CrashSpec, FaultPlan, IOFaultSpec
+    if args.plan:
+        raw = (sys.stdin.read() if args.plan == "-"
+               else open(args.plan, encoding="utf-8").read())
+        return FaultPlan.from_dict(json.loads(raw))
+    crash = CrashSpec(
+        at_time=args.crash_at,
+        after_writes=args.crash_after_writes,
+        at_phase=args.crash_phase,
+        checkpoint_ordinal=args.crash_checkpoint,
+        after_flushes=args.crash_after_flushes,
+        at_log_flush=args.crash_at_log_flush)
+    return FaultPlan(
+        seed=args.fault_seed,
+        crash=None if crash.empty else crash,
+        torn_writes=args.torn_writes,
+        io=IOFaultSpec(
+            error_rate=args.io_error_rate,
+            max_retries=args.io_retries,
+            backoff_base=args.io_backoff,
+            latency_spike_rate=args.latency_spike_rate,
+            latency_spike=args.latency_spike))
+
+
+def _cmd_faults(args: argparse.Namespace) -> str:
+    from .faults.checker import CrashConsistencyChecker, FaultRunReport
+    from .faults.matrix import (crash_matrix_points, random_plans,
+                                run_fault_cell)
+    if args.matrix is not None:
+        algorithms = (args.algorithms.split(",") if args.algorithms
+                      else list(ALGORITHM_NAMES))
+        plans = random_plans(args.matrix, seed=args.fault_seed,
+                             duration=args.duration,
+                             torn_writes=args.torn_writes or None,
+                             io_faults=args.io_error_rate > 0)
+        trace = _command_trace(args, "faults")
+        runner = _sweep_runner(args, trace=trace)
+        result = runner.map(
+            run_fault_cell, crash_matrix_points(algorithms, plans),
+            fixed={"scale": args.scale, "duration": args.duration,
+                   "checkpoint_interval": args.interval},
+            base_seed=args.seed, seed_arg="seed")
+        if trace is not None:
+            trace.export(args.trace_out, matrix=args.matrix)
+        reports = [cell.value for cell in result if cell.ok]
+        if args.json:
+            return json.dumps(
+                {"cells": reports,
+                 "sweep_failures": [
+                     {"kwargs": {k: v for k, v in cell.kwargs.items()
+                                 if k != "plan"}, "error": cell.error}
+                     for cell in result.failures()]},
+                sort_keys=True, indent=2)
+        lines = [f"crash matrix: {len(algorithms)} algorithms x "
+                 f"{len(plans)} plans = {len(result)} cells"]
+        survived = 0
+        for cell in result:
+            if not cell.ok:
+                lines.append(f"  SWEEP ERROR {cell.kwargs['algorithm']}: "
+                             f"{cell.error}")
+                continue
+            fields = {k: v for k, v in cell.value.items() if k != "ok"}
+            rep = FaultRunReport(**fields)
+            survived += rep.ok
+            lines.append("  " + rep.summary())
+        lines.append(f"survived: {survived}/{len(result)}")
+        return "\n".join(lines)
+    plan = _faults_plan(args)
+    params = SystemParameters.scaled_down(args.scale, lam=args.lam)
+    checker = CrashConsistencyChecker(
+        params, duration=args.duration, checkpoint_interval=args.interval)
+    report = checker.run(args.algorithm, plan, seed=args.seed)
+    if args.json:
+        return json.dumps(report.to_dict(), sort_keys=True, indent=2)
+    counters = report.counters
+    lines = [
+        f"fault plan [{plan.describe()}] on {report.algorithm} "
+        f"(seed {args.seed}, {args.duration:g}s)",
+        f"  crash                "
+        + (f"injected ({report.crash_trigger}) at "
+           f"t={report.crash_time:.4f}s" if report.crashed_by_fault
+           else f"media failure: {report.media_error}" if report.media_error
+           else f"end of run (t={report.crash_time:.4f}s)"),
+        f"  recovery             checkpoint {report.used_checkpoint_id} "
+        f"(image {report.used_image}), "
+        f"{report.transactions_replayed} txns replayed, "
+        f"{report.modelled_recovery_time:.3f}s modelled",
+        f"  durable commits      {report.durable_commits}",
+        f"  io faults            {counters['io_errors']} errors, "
+        f"{counters['io_retries']} retries "
+        f"({counters['backoff_time'] * 1e3:.1f} ms backoff), "
+        f"{counters['io_exhausted']} exhausted, "
+        f"{counters['latency_spikes']} spikes",
+        f"  torn segments        {counters['torn_segments']}",
+        "  oracle               "
+        + ("PASS" if report.ok else "FAIL: " + "; ".join(
+            f"record {mm['record_id']}: expected {mm['expected']}, "
+            f"got {mm['actual']}" for mm in report.mismatches)),
+    ]
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "figures": _cmd_figures,
@@ -516,6 +682,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
+    "faults": _cmd_faults,
 }
 
 

@@ -82,7 +82,42 @@ class RecoveryError(ReproError):
 
 
 class CrashError(ReproError):
-    """Raised internally to unwind the simulator when a crash is injected."""
+    """Raised internally to unwind the simulator when a crash is injected.
+
+    The fault-injection subsystem (:mod:`repro.faults`) raises this from
+    inside an event callback the instant an armed trigger fires; it
+    propagates out of :meth:`~repro.sim.engine.EventEngine.run` to the
+    harness, which then performs :meth:`SimulatedSystem.crash`.
+
+    Attributes:
+        trigger: machine-readable cause, e.g. ``"time"``, ``"writes"``,
+            ``"phase:sweep"``, or ``"log_flush"``.
+    """
+
+    def __init__(self, message: str, trigger: str = "crash") -> None:
+        super().__init__(message)
+        self.trigger = trigger
+
+
+class MediaError(ReproError, IOError):
+    """A backup-device request exhausted its transient-error retry budget.
+
+    Raised by the disk layer when fault injection makes a request fail
+    more times than the armed plan's ``max_retries`` allows.  Distinct
+    from a *media failure* (the durable loss of a backup image, paper
+    Section 2.7): a :class:`MediaError` is the device giving up on one
+    I/O, after which the simulation run is aborted by the harness.
+
+    Attributes:
+        disk: name of the disk that gave up.
+        attempts: how many attempts were made (initial try + retries).
+    """
+
+    def __init__(self, message: str, *, disk: str = "",
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.disk = disk
+        self.attempts = attempts
 
 
 class SweepError(ReproError):

@@ -1,0 +1,59 @@
+"""Deterministic fault injection and crash-consistency verification.
+
+Layers:
+
+* :mod:`repro.faults.plan` -- declarative :class:`FaultPlan` (crash
+  triggers, torn writes, transient I/O faults), serialisable and
+  therefore sweepable;
+* :mod:`repro.faults.injector` -- the armed/no-op
+  :class:`FaultInjector` handle the storage, log, and checkpoint layers
+  hook into (``NULL_INJECTOR`` when no plan is armed);
+* :mod:`repro.faults.checker` -- the
+  :class:`~repro.faults.checker.CrashConsistencyChecker`: run a plan,
+  crash, recover from backup + log, verify record-level equality
+  against the committed-state oracle;
+* :mod:`repro.faults.matrix` -- seeded-random plan generation plus the
+  picklable point function that fans a crash matrix out over the
+  :class:`~repro.sweep.SweepRunner`.
+
+``checker`` and ``matrix`` import the simulator, which itself imports
+``plan``/``injector``; they are therefore loaded lazily here (PEP 562)
+to keep the package import acyclic.
+"""
+
+from __future__ import annotations
+
+from .injector import NULL_INJECTOR, FaultInjector
+from .plan import CRASH_PHASES, CrashSpec, FaultPlan, IOFaultSpec
+
+__all__ = [
+    "CRASH_PHASES",
+    "CrashSpec",
+    "FaultPlan",
+    "IOFaultSpec",
+    "FaultInjector",
+    "NULL_INJECTOR",
+    "CrashConsistencyChecker",
+    "FaultRunReport",
+    "crash_matrix_points",
+    "random_plans",
+    "run_fault_cell",
+]
+
+_LAZY = {
+    "CrashConsistencyChecker": "checker",
+    "FaultRunReport": "checker",
+    "crash_matrix_points": "matrix",
+    "random_plans": "matrix",
+    "run_fault_cell": "matrix",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)

@@ -12,13 +12,25 @@ evidence of recovery correctness.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, NamedTuple
 
 import numpy as np
 
 from ..params import SystemParameters
 from ..recovery.replay import RedoApplier
 from ..wal.records import LogRecord
+
+
+class RecordMismatch(NamedTuple):
+    """One record where the recovered database disagrees with the oracle."""
+
+    record_id: int
+    expected: int
+    actual: int
+
+    def __str__(self) -> str:
+        return (f"record {self.record_id}: expected {self.expected}, "
+                f"recovered {self.actual}")
 
 
 class CommittedStateOracle:
@@ -55,3 +67,17 @@ class CommittedStateOracle:
         """Record ids where ``actual`` disagrees with the oracle."""
         diff = np.nonzero(actual != self.expected)[0]
         return [int(r) for r in diff[:limit]]
+
+    def mismatch_report(self, actual: np.ndarray,
+                        limit: int = 10) -> List[RecordMismatch]:
+        """Like :meth:`mismatches` but with expected/actual values.
+
+        Debugging a recovery divergence needs to know *how* the values
+        differ (off-by-a-delta points at replay, zero points at a lost
+        segment), not just where.
+        """
+        diff = np.nonzero(actual != self.expected)[0]
+        return [
+            RecordMismatch(int(r), int(self.expected[r]), int(actual[r]))
+            for r in diff[:limit]
+        ]

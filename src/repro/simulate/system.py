@@ -28,6 +28,8 @@ from ..checkpoint.registry import create_checkpointer
 from ..checkpoint.scheduler import CheckpointPolicy, CheckpointScheduler
 from ..cpu.accounting import CostCategory, CostLedger, OperationCosts
 from ..errors import ConfigurationError, InvalidStateError
+from ..faults.injector import NULL_INJECTOR, FaultInjector
+from ..faults.plan import FaultPlan
 from ..mmdb.database import Database
 from ..mmdb.locks import LockManager
 from ..model.duration import minimum_duration
@@ -44,7 +46,7 @@ from ..storage.backup import BackupStore
 from ..txn.manager import TransactionManager
 from ..txn.workload import WorkloadGenerator, WorkloadSpec
 from ..wal.log import LogManager
-from .oracle import CommittedStateOracle
+from .oracle import CommittedStateOracle, RecordMismatch
 
 
 @dataclass(frozen=True)
@@ -104,6 +106,13 @@ class SimulationConfig:
     #: pretend both backup images already hold the initial database, so
     #: the first real checkpoints are partial rather than full sweeps
     preload_backup: bool = False
+    #: deterministic fault-injection plan (crashes, torn writes, transient
+    #: I/O errors -- see :mod:`repro.faults`).  None = healthy hardware;
+    #: the disabled path costs one predicate per instrumented event, same
+    #: contract as telemetry.  An injected crash surfaces as
+    #: :class:`~repro.errors.CrashError` out of :meth:`run`; call
+    #: :meth:`crash` to complete the failure, then recover as usual.
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -143,9 +152,14 @@ class SimulatedSystem:
         self.database = Database(self.params)
         self.telemetry = (Telemetry(enabled=True) if config.telemetry
                           else NULL_TELEMETRY)
-        self.log = LogManager(self.params, telemetry=self.telemetry)
+        self.faults = (FaultInjector(config.fault_plan,
+                                     telemetry=self.telemetry)
+                       if config.fault_plan is not None else NULL_INJECTOR)
+        self.log = LogManager(self.params, telemetry=self.telemetry,
+                              faults=self.faults)
         self.locks = LockManager()
-        self.array = DiskArray(self.params, telemetry=self.telemetry)
+        self.array = DiskArray(self.params, telemetry=self.telemetry,
+                               faults=self.faults)
         self.backup = BackupStore(self.params)
         self.oracle = CommittedStateOracle(self.params)
         self.cpu = (CpuServer(self.engine, config.cpu_mips,
@@ -173,6 +187,7 @@ class SimulatedSystem:
             quiesce_latency=config.cou_quiesce_latency,
             truncate_log=config.truncate_log,
             telemetry=self.telemetry,
+            faults=self.faults,
         )
         self.checkpointer.attach_transaction_manager(self.txn_manager)
         self.scheduler = CheckpointScheduler(
@@ -187,6 +202,11 @@ class SimulatedSystem:
             self._wire_tracer()
         if config.preload_backup:
             self._preload_backup()
+        if (self.faults.armed and self.faults.plan.crash is not None
+                and self.faults.plan.crash.at_time is not None):
+            self.engine.schedule_at(self.faults.plan.crash.at_time,
+                                    self.faults.trigger_timed_crash,
+                                    label="fault: timed crash")
 
     def _wire_tracer(self) -> None:
         self.txn_manager.on_commit = lambda txn: self.tracer.record(
@@ -306,6 +326,10 @@ class SimulatedSystem:
         # went out (stable-tail appends may not have been drained yet).
         self.oracle.feed(self.log.drain_newly_stable())
         self.tracer.record(self.engine.now, "crash")
+        if self.faults.armed:
+            # Apply torn prefixes of in-flight segment writes to the
+            # images before the write-completion events are discarded.
+            self.faults.on_system_crash()
         self.engine.clear()
         self.scheduler.stop()
         self.checkpointer.crash()
@@ -365,10 +389,17 @@ class SimulatedSystem:
         self._started = False  # a fresh run() restarts arrivals/checkpoints
         return result
 
-    def verify_recovery(self, limit: int = 10) -> List[int]:
-        """Record ids where the database disagrees with the oracle."""
-        return self.oracle.mismatches(self.database.values_snapshot(),
-                                      limit=limit)
+    def verify_recovery(self, limit: int = 10) -> List[RecordMismatch]:
+        """Mismatches between the recovered database and the oracle.
+
+        Empty list = recovery verified.  Each entry carries the record id
+        *and* the expected/recovered values, so a failure report says how
+        the states diverge, not just where (compares equal to the bare
+        record id lists older callers asserted against only when empty,
+        which is the invariant they check).
+        """
+        return self.oracle.mismatch_report(self.database.values_snapshot(),
+                                           limit=limit)
 
     # ------------------------------------------------------------------
     # metrics

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import List
 
 from ..errors import ConfigurationError
+from ..faults.injector import NULL_INJECTOR, FaultInjector
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..params import SystemParameters
 from .disk import Disk
@@ -27,13 +28,17 @@ class DiskArray:
     """A bank of identical disks with ideal load balancing."""
 
     def __init__(self, params: SystemParameters, name: str = "backup",
-                 *, telemetry: Telemetry = NULL_TELEMETRY) -> None:
+                 *, telemetry: Telemetry = NULL_TELEMETRY,
+                 faults: FaultInjector = NULL_INJECTOR) -> None:
         self.params = params
         self.name = name
         self.telemetry = telemetry
+        #: shared fault handle; the per-spindle hooks live in the disks
+        self.faults = faults
         self.disks: List[Disk] = [
             Disk(params.t_seek, params.t_trans, name=f"{name}-{i}",
-                 telemetry=telemetry, metric_prefix=f"disk.{name}")
+                 telemetry=telemetry, metric_prefix=f"disk.{name}",
+                 faults=faults)
             for i in range(params.n_bdisks)
         ]
 

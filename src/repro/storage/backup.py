@@ -99,6 +99,26 @@ class BackupImage:
         self.segment_flush_time[segment_index] = flush_time
         self.segment_present[segment_index] = True
 
+    def tear_segment_prefix(self, segment_index: int,
+                            prefix: np.ndarray) -> None:
+        """A power loss mid-write: only ``prefix`` words actually landed.
+
+        The image's *data* is physically overwritten for the prefix, but
+        the flush timestamp and presence bit are NOT updated -- the disk
+        never acknowledged the write, so the checkpointing layer still
+        treats the segment as stale here.  Recovery correctness rests on
+        never reading this image for that segment (the ping-pong
+        guarantee); the fault-injection tests exist to prove exactly
+        that.
+        """
+        words = len(prefix)
+        if not 0 < words < self.params.records_per_segment:
+            raise InvalidStateError(
+                f"torn prefix must be a strict, non-empty prefix of a "
+                f"segment ({words!r} of {self.params.records_per_segment})")
+        first = segment_index * self.params.records_per_segment
+        self.values[first:first + words] = prefix
+
     def read_segment(self, segment_index: int) -> np.ndarray:
         """Read one segment back (recovery path)."""
         if not self.segment_present[segment_index]:

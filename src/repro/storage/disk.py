@@ -9,6 +9,7 @@ reports.
 from __future__ import annotations
 
 from ..errors import ConfigurationError
+from ..faults.injector import NULL_INJECTOR, FaultInjector
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 
 
@@ -17,7 +18,8 @@ class Disk:
 
     def __init__(self, t_seek: float, t_trans: float, name: str = "disk",
                  *, telemetry: Telemetry = NULL_TELEMETRY,
-                 metric_prefix: str = "disk") -> None:
+                 metric_prefix: str = "disk",
+                 faults: FaultInjector = NULL_INJECTOR) -> None:
         if t_seek < 0 or t_trans <= 0:
             raise ConfigurationError(
                 f"invalid disk timing (t_seek={t_seek!r}, t_trans={t_trans!r})"
@@ -33,6 +35,8 @@ class Disk:
         #: array, not one per spindle) -- see docs/OBSERVABILITY.md
         self.telemetry = telemetry
         self.metric_prefix = metric_prefix
+        #: fault-injection handle; :data:`NULL_INJECTOR` = healthy disk
+        self.faults = faults
 
     def service_time(self, words: int) -> float:
         """Seconds to serve one request of ``words`` words."""
@@ -44,9 +48,19 @@ class Disk:
         """Enqueue a request at time ``now``; returns its completion time.
 
         Requests serialize: service starts at ``max(now, free_at)``.
+        With an armed fault injector the request may suffer latency
+        spikes and transient failures: failed attempts re-occupy the
+        disk and add exponential-backoff delay, and exhausting the
+        retry budget raises :class:`~repro.errors.MediaError`.
         """
         start = max(now, self.free_at)
         service = self.service_time(words)
+        if self.faults.armed:
+            # May raise CrashError (write-count trigger) or MediaError.
+            delay, extra_busy = self.faults.on_disk_request(
+                self.name, words, service)
+            start += delay
+            service += extra_busy
         self.free_at = start + service
         self.busy_time += service
         self.requests += 1

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import InvalidStateError, WALViolation
+from ..faults.injector import NULL_INJECTOR, FaultInjector
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..params import SystemParameters
 from .lsn import LSNAllocator
@@ -56,9 +57,12 @@ class LogManager:
     """REDO-only log with a volatile (or stable-RAM) tail."""
 
     def __init__(self, params: SystemParameters, *,
-                 telemetry: Telemetry = NULL_TELEMETRY) -> None:
+                 telemetry: Telemetry = NULL_TELEMETRY,
+                 faults: FaultInjector = NULL_INJECTOR) -> None:
         self.params = params
         self.telemetry = telemetry
+        #: fault-injection handle (lost-tail crash at the N-th flush)
+        self.faults = faults
         self.stable_tail = params.stable_log_tail
         self._allocator = LSNAllocator()
         self._tail: List[LogRecord] = []
@@ -187,6 +191,10 @@ class LogManager:
         words = self.tail_words
         count = len(self._tail)
         if count:
+            if self.faults.armed:
+                # A lost-tail crash fires BEFORE the tail reaches the
+                # log disks: these records never become durable.
+                self.faults.on_log_flush()
             if self.telemetry.enabled:
                 registry = self.telemetry.registry
                 registry.count("wal.flushes")

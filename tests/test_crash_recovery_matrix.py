@@ -14,6 +14,8 @@ import pytest
 from tests.helpers import build_system, run_crash_recover
 from repro.checkpoint.base import CheckpointScope
 from repro.checkpoint.registry import ALGORITHM_NAMES
+from repro.errors import CrashError
+from repro.faults import CrashSpec, FaultPlan
 from repro.txn.workload import AccessDistribution, WorkloadSpec
 
 NON_STABLE = [n for n in ALGORITHM_NAMES if n != "FASTFUZZY"]
@@ -104,3 +106,34 @@ class TestColdStart:
         system = build_system(small_params, algorithm, seed=9, preload=False)
         _, _, mismatches = run_crash_recover(system, 3.0)
         assert mismatches == []
+
+
+class TestFaultPlanCrashes:
+    """Plan-driven mid-flight crashes (the end-of-run crashes above never
+    catch a checkpoint in the act; these always do).  The exhaustive
+    seeded matrix lives in ``test_fault_injection.py -m faultmatrix``."""
+
+    @staticmethod
+    def _run_plan(params, algorithm, plan, duration=6.0):
+        system = build_system(params, algorithm, seed=10, interval=0.8,
+                              fault_plan=plan)
+        with pytest.raises(CrashError):
+            system.run(duration)
+        system.crash()
+        system.recover()
+        return system
+
+    @pytest.mark.parametrize("algorithm", NON_STABLE)
+    def test_mid_checkpoint_crash_recovers(self, small_params, algorithm):
+        plan = FaultPlan(seed=1, crash=CrashSpec(
+            at_phase="sweep", checkpoint_ordinal=2, after_flushes=2))
+        system = self._run_plan(small_params, algorithm, plan)
+        assert system.verify_recovery() == []
+
+    @pytest.mark.parametrize("algorithm", ["FUZZYCOPY", "2CCOPY", "COUCOPY"])
+    def test_torn_mid_checkpoint_crash_recovers(self, small_params,
+                                                algorithm):
+        plan = FaultPlan(seed=2, torn_writes=True, crash=CrashSpec(
+            at_phase="sweep", checkpoint_ordinal=2, after_flushes=4))
+        system = self._run_plan(small_params, algorithm, plan)
+        assert system.verify_recovery() == []
