@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import capacity
 from repro.params import PAPER_DEFAULTS, SystemParameters
-from repro.simulate.system import SimulatedSystem, SimulationConfig
+from repro.sim.system import SimulatedSystem, SimulationConfig
 from repro.sweep import SweepRunner
 
 

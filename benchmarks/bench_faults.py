@@ -20,7 +20,7 @@ from repro.checkpoint.scheduler import CheckpointPolicy
 from repro.faults.injector import NULL_INJECTOR
 from repro.faults.plan import FaultPlan
 from repro.params import SystemParameters
-from repro.simulate.system import SimulatedSystem, SimulationConfig
+from repro.sim.system import SimulatedSystem, SimulationConfig
 
 
 def _simulate(algorithm: str = "FUZZYCOPY", duration: float = 4.0,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.checkpoint.scheduler import CheckpointPolicy
 from repro.params import SystemParameters
-from repro.simulate.system import SimulatedSystem, SimulationConfig
+from repro.sim.system import SimulatedSystem, SimulationConfig
 
 
 def _simulate(algorithm: str, duration: float = 4.0):

@@ -16,7 +16,7 @@ import time
 
 from repro.checkpoint.scheduler import CheckpointPolicy
 from repro.params import SystemParameters
-from repro.simulate.system import SimulatedSystem, SimulationConfig
+from repro.sim.system import SimulatedSystem, SimulationConfig
 
 
 def _simulate(algorithm: str = "FUZZYCOPY", duration: float = 4.0,

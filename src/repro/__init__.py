@@ -6,7 +6,7 @@ The package has two faces:
 * :mod:`repro.model` -- the paper's analytic performance model, which
   regenerates every figure of Section 4 (processor overhead and recovery
   time for the six checkpointing algorithms);
-* :mod:`repro.simulate` -- an executable MMDBMS testbed (database, WAL,
+* :mod:`repro.sim` -- an executable MMDBMS testbed (database, WAL,
   disks, ping-pong backups, transactions, the six checkpointers, crash
   injection and recovery) that validates the model and proves recovery
   correctness end to end.
@@ -43,7 +43,7 @@ from .errors import ReproError, SweepError
 from .faults import CrashSpec, FaultPlan, IOFaultSpec
 from .model import ModelResult
 from .params import PAPER_DEFAULTS, SystemParameters
-from .simulate import SimulatedSystem, SimulationConfig
+from .sim import SimulatedSystem, SimulationConfig
 from .sweep import SweepResult, SweepRunner, SweepSpec
 from .txn import AccessDistribution, WorkloadSpec
 

@@ -21,7 +21,7 @@ through three calls, all re-exported at the package top level::
                          workers=4)
 
 The historical call paths -- constructing
-:class:`~repro.simulate.system.SimulatedSystem` by hand, calling the
+:class:`~repro.sim.system.SimulatedSystem` by hand, calling the
 per-driver functions in :mod:`repro.experiments` -- keep working; this
 module is the supported surface going forward, and the drivers
 themselves now execute through the same :class:`~repro.sweep.SweepRunner`
@@ -41,7 +41,7 @@ from .model.evaluate import ModelOptions, ModelResult
 from .model.evaluate import evaluate as _model_evaluate
 from .params import SystemParameters
 from .recovery.restore import RecoveryResult
-from .simulate.system import (
+from .sim.system import (
     SimulatedSystem,
     SimulationConfig,
     SimulationMetrics,
@@ -76,7 +76,7 @@ class SimulationOutcome:
     config: SimulationConfig
     metrics: SimulationMetrics
     recovery: Optional[RecoveryResult] = None
-    #: :class:`~repro.simulate.oracle.RecordMismatch` entries (record id
+    #: :class:`~repro.sim.oracle.RecordMismatch` entries (record id
     #: plus expected/recovered values); empty list = recovery verified
     mismatches: Optional[List[Any]] = None
     #: MetricsRegistry snapshot when the run had ``telemetry=True``;

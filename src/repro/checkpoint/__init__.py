@@ -31,7 +31,10 @@ from .registry import (
     ALL_ALGORITHM_NAMES,
     EXTENSION_NAMES,
     create_checkpointer,
+    register_checkpointer,
+    registered_algorithms,
     resolve_algorithm,
+    unregister_checkpointer,
 )
 from .scheduler import CheckpointPolicy, CheckpointScheduler
 from .two_color import TwoColorCopyCheckpointer, TwoColorFlushCheckpointer
@@ -56,5 +59,8 @@ __all__ = [
     "TwoColorCopyCheckpointer",
     "TwoColorFlushCheckpointer",
     "create_checkpointer",
+    "register_checkpointer",
+    "registered_algorithms",
     "resolve_algorithm",
+    "unregister_checkpointer",
 ]

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from ..mmdb.locks import LockMode
 from .base import BaseCheckpointer, CheckpointRun
+from .registration import register_checkpointer
 
 
 class _ActionConsistentBase(BaseCheckpointer):
@@ -46,6 +47,7 @@ class _ActionConsistentBase(BaseCheckpointer):
             self.locks.acquire_or_wait(index, self._owner, LockMode.SHARED)
 
 
+@register_checkpointer(category="extension")
 class ActionConsistentFlushCheckpointer(_ActionConsistentBase):
     """ACFLUSH: flush under the segment lock, no in-memory copy."""
 
@@ -76,6 +78,7 @@ class ActionConsistentFlushCheckpointer(_ActionConsistentBase):
         self.log.when_stable(reflected_lsn, stable)
 
 
+@register_checkpointer(category="extension")
 class ActionConsistentCopyCheckpointer(_ActionConsistentBase):
     """ACCOPY: capture under a momentary lock, flush from the buffer."""
 

@@ -34,6 +34,7 @@ from ..mmdb.locks import LockMode
 from ..mmdb.segment import Segment
 from ..txn.transaction import Transaction
 from .base import BaseCheckpointer, CheckpointRun
+from .registration import register_checkpointer
 
 
 class _CopyOnUpdateBase(BaseCheckpointer):
@@ -165,6 +166,7 @@ class _CopyOnUpdateBase(BaseCheckpointer):
         raise NotImplementedError
 
 
+@register_checkpointer(category="paper")
 class COUFlushCheckpointer(_CopyOnUpdateBase):
     """COUFLUSH: live segments flushed under the lock, no extra copy."""
 
@@ -179,6 +181,7 @@ class COUFlushCheckpointer(_CopyOnUpdateBase):
             on_written=lambda: self.locks.release(index, self._owner))
 
 
+@register_checkpointer(category="paper")
 class COUCopyCheckpointer(_CopyOnUpdateBase):
     """COUCOPY: live segments buffered so the lock releases immediately."""
 

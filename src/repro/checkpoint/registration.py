@@ -1,0 +1,131 @@
+"""Decorator-based checkpointer registration.
+
+Checkpoint algorithms announce themselves with ``@register_checkpointer``
+at class-definition time instead of being hard-wired into a registry
+tuple.  Out-of-tree algorithms plug in the same way::
+
+    from repro.checkpoint import BaseCheckpointer, register_checkpointer
+
+    @register_checkpointer
+    class MyCheckpointer(BaseCheckpointer):
+        name = "MYALGO"
+        ...
+
+    repro.simulate("MYALGO")          # immediately runnable
+
+The built-in algorithms register with an explicit ``category`` so the
+paper's presentation order (``ALGORITHM_NAMES``) and the reproduction's
+extensions (``EXTENSION_NAMES``) stay stable, separately enumerable
+sets; externally registered algorithms land in the ``"external"``
+category and appear in :func:`registered_algorithms` without touching
+this module.
+
+This module holds only the registry substrate -- no algorithm imports --
+so algorithm modules can import the decorator without a cycle.
+:mod:`repro.checkpoint.registry` imports the algorithm modules (which
+triggers their registration) and re-exports the lookup surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Type, Union
+
+from ..errors import ConfigurationError
+
+#: registration categories, in enumeration order
+CATEGORIES = ("paper", "extension", "external")
+
+_REGISTRY: Dict[str, type] = {}
+_BY_CATEGORY: Dict[str, List[str]] = {cat: [] for cat in CATEGORIES}
+
+
+def register_checkpointer(
+    cls: Optional[type] = None,
+    *,
+    name: Optional[str] = None,
+    category: str = "external",
+    replace: bool = False,
+) -> Union[type, Callable[[type], type]]:
+    """Class decorator that adds a checkpointer to the global registry.
+
+    Usable bare (``@register_checkpointer``) or with options
+    (``@register_checkpointer(category="paper")``).
+
+    Args:
+        name: registry key; defaults to the class's ``name`` attribute.
+            Lookup is case-insensitive (keys are upper-cased).
+        category: ``"paper"``, ``"extension"``, or ``"external"`` --
+            controls which enumeration the algorithm appears in.
+        replace: allow re-registering an existing name (otherwise a
+            duplicate raises :class:`~repro.errors.ConfigurationError`,
+            which catches accidental collisions between plugins).
+
+    Returns:
+        The class, unchanged, so decoration is transparent.
+    """
+    if category not in CATEGORIES:
+        raise ConfigurationError(
+            f"unknown category {category!r}; expected one of {CATEGORIES}")
+
+    def decorate(target: type) -> type:
+        key = (name if name is not None
+               else getattr(target, "name", None))
+        if not key or not isinstance(key, str):
+            raise ConfigurationError(
+                f"{target!r} has no usable 'name' attribute; set a class "
+                "name or pass register_checkpointer(name=...)")
+        key = key.upper()
+        if key in _REGISTRY and not replace:
+            raise ConfigurationError(
+                f"checkpointer {key!r} is already registered "
+                f"({_REGISTRY[key].__module__}.{_REGISTRY[key].__qualname__});"
+                " pass replace=True to override")
+        if key not in _BY_CATEGORY[category]:
+            _BY_CATEGORY[category].append(key)
+        _REGISTRY[key] = target
+        return target
+
+    if cls is not None:
+        return decorate(cls)
+    return decorate
+
+
+def unregister_checkpointer(name: str) -> None:
+    """Remove a registered algorithm (test/plugin teardown)."""
+    key = name.upper()
+    _REGISTRY.pop(key, None)
+    for names in _BY_CATEGORY.values():
+        if key in names:
+            names.remove(key)
+
+
+def registered_algorithms(category: Optional[str] = None) -> Tuple[str, ...]:
+    """Currently registered algorithm names, in registration order.
+
+    ``category`` restricts the listing to one registration category;
+    ``None`` returns everything the simulator can run right now,
+    including algorithms registered by out-of-tree code.
+    """
+    if category is None:
+        seen: List[str] = []
+        for cat in CATEGORIES:
+            seen.extend(_BY_CATEGORY[cat])
+        return tuple(seen)
+    if category not in CATEGORIES:
+        raise ConfigurationError(
+            f"unknown category {category!r}; expected one of {CATEGORIES}")
+    return tuple(_BY_CATEGORY[category])
+
+
+def resolve_algorithm(name: str) -> Type:
+    """Look up a checkpointer class by name (case-insensitive)."""
+    cls = _REGISTRY.get(name.upper())
+    if cls is None:
+        known = ", ".join(registered_algorithms())
+        raise ConfigurationError(f"unknown algorithm {name!r}; known: {known}")
+    return cls
+
+
+def create_checkpointer(name: str, *args: object, **kwargs: object):
+    """Instantiate the named algorithm with the given substrate pieces."""
+    return resolve_algorithm(name)(*args, **kwargs)

@@ -8,13 +8,21 @@ The six algorithms of the paper come first; three extensions follow:
   implemented so its "unacceptably frequent and long lock delays" can be
   measured instead of assumed (simulation only; not in the analytic
   model).
+
+Registration is decorator-based (:mod:`repro.checkpoint.registration`):
+every class above carries ``@register_checkpointer(category=...)`` at its
+definition site, and out-of-tree algorithms plug in with a bare
+``@register_checkpointer`` without touching this module.  Importing this
+module imports every built-in algorithm module, which is what triggers
+their registration; the name tuples below are the canonical presentation
+order (the paper's Section 3 order), validated against the registry at
+import time.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Type
-
-from ..errors import ConfigurationError
+# Importing the algorithm modules registers their classes (each carries
+# the @register_checkpointer decorator).
 from .action_consistent import (
     ActionConsistentCopyCheckpointer,
     ActionConsistentFlushCheckpointer,
@@ -23,47 +31,47 @@ from .base import BaseCheckpointer
 from .copy_on_update import COUCopyCheckpointer, COUFlushCheckpointer
 from .fuzzy import FastFuzzyCheckpointer, FuzzyCopyCheckpointer
 from .naive import NaiveLockCheckpointer
+from .registration import (
+    create_checkpointer,
+    register_checkpointer,
+    registered_algorithms,
+    resolve_algorithm,
+    unregister_checkpointer,
+)
 from .two_color import TwoColorCopyCheckpointer, TwoColorFlushCheckpointer
 
-_PAPER_CLASSES: Tuple[Type[BaseCheckpointer], ...] = (
-    FuzzyCopyCheckpointer,
-    FastFuzzyCheckpointer,
-    TwoColorFlushCheckpointer,
-    TwoColorCopyCheckpointer,
-    COUFlushCheckpointer,
-    COUCopyCheckpointer,
-)
-
-_EXTENSION_CLASSES: Tuple[Type[BaseCheckpointer], ...] = (
-    ActionConsistentFlushCheckpointer,
-    ActionConsistentCopyCheckpointer,
-    NaiveLockCheckpointer,
-)
-
-_REGISTRY: Dict[str, Type[BaseCheckpointer]] = {
-    cls.name: cls for cls in _PAPER_CLASSES + _EXTENSION_CLASSES
-}
-
 #: The paper's algorithms, in its presentation order.
-ALGORITHM_NAMES = tuple(cls.name for cls in _PAPER_CLASSES)
+ALGORITHM_NAMES = (
+    FuzzyCopyCheckpointer.name,
+    FastFuzzyCheckpointer.name,
+    TwoColorFlushCheckpointer.name,
+    TwoColorCopyCheckpointer.name,
+    COUFlushCheckpointer.name,
+    COUCopyCheckpointer.name,
+)
 
 #: Extensions implemented by this reproduction.
-EXTENSION_NAMES = tuple(cls.name for cls in _EXTENSION_CLASSES)
+EXTENSION_NAMES = (
+    ActionConsistentFlushCheckpointer.name,
+    ActionConsistentCopyCheckpointer.name,
+    NaiveLockCheckpointer.name,
+)
 
-#: Everything the simulator can run.
+#: Every built-in algorithm (out-of-tree registrations are enumerable
+#: via :func:`registered_algorithms`, which includes them).
 ALL_ALGORITHM_NAMES = ALGORITHM_NAMES + EXTENSION_NAMES
 
+assert set(ALGORITHM_NAMES) == set(registered_algorithms("paper"))
+assert set(EXTENSION_NAMES) == set(registered_algorithms("extension"))
 
-def resolve_algorithm(name: str) -> Type[BaseCheckpointer]:
-    """Look up a checkpointer class by name (case-insensitive)."""
-    cls = _REGISTRY.get(name.upper())
-    if cls is None:
-        known = ", ".join(ALL_ALGORITHM_NAMES)
-        raise ConfigurationError(f"unknown algorithm {name!r}; known: {known}")
-    return cls
-
-
-def create_checkpointer(name: str, *args: object,
-                        **kwargs: object) -> BaseCheckpointer:
-    """Instantiate the named algorithm with the given substrate pieces."""
-    return resolve_algorithm(name)(*args, **kwargs)
+__all__ = [
+    "ALGORITHM_NAMES",
+    "ALL_ALGORITHM_NAMES",
+    "BaseCheckpointer",
+    "EXTENSION_NAMES",
+    "create_checkpointer",
+    "register_checkpointer",
+    "registered_algorithms",
+    "resolve_algorithm",
+    "unregister_checkpointer",
+]

@@ -27,6 +27,7 @@ from ..mmdb.locks import LockMode
 from ..mmdb.segment import Segment
 from ..txn.transaction import Transaction
 from .base import BaseCheckpointer, CheckpointRun
+from .registration import register_checkpointer
 
 
 class _TwoColorBase(BaseCheckpointer):
@@ -80,6 +81,7 @@ class _TwoColorBase(BaseCheckpointer):
             segment.painted_black = False
 
 
+@register_checkpointer(category="paper")
 class TwoColorFlushCheckpointer(_TwoColorBase):
     """2CFLUSH: lock held across the disk write; no in-memory copying."""
 
@@ -114,6 +116,7 @@ class TwoColorFlushCheckpointer(_TwoColorBase):
         self.log.when_stable(reflected_lsn, stable)
 
 
+@register_checkpointer(category="paper")
 class TwoColorCopyCheckpointer(_TwoColorBase):
     """2CCOPY: copy to a buffer, unlock at once, flush when WAL allows."""
 

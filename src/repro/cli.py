@@ -43,7 +43,8 @@ from .model.evaluate import evaluate
 from .obs.presets import PRESET_NAMES, get_preset
 from .params import SystemParameters
 from .sim.trace import Tracer
-from .simulate.system import SimulatedSystem, SimulationConfig
+from .sim.system import SimulatedSystem, SimulationConfig
+from .storage.backends import storage_backend_names
 from .sweep import SweepRunner, default_cache_dir
 
 
@@ -189,6 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--crash", action="store_true",
                      help="inject a crash at the end and verify recovery")
     sim.add_argument("--stable-tail", action="store_true")
+    sim.add_argument("--storage-backend", default="memory",
+                     choices=list(storage_backend_names()),
+                     help="backup-image storage backend (default: memory)")
+    sim.add_argument("--storage-dir", default=None, metavar="DIR",
+                     help="directory for the file backend's image files "
+                          "(default: a fresh temporary directory)")
 
     val = sub.add_parser("validate", help="model-vs-testbed comparison")
     val.add_argument("--duration", type=float, default=10.0)
@@ -406,7 +413,9 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
     system = SimulatedSystem(SimulationConfig(
         params=params, algorithm=args.algorithm, seed=args.seed,
         policy=CheckpointPolicy(interval=args.interval),
-        preload_backup=True))
+        preload_backup=True,
+        storage_backend=args.storage_backend,
+        storage_dir=args.storage_dir))
     metrics = system.run(args.duration)
     lines = [
         f"{args.algorithm} on a {params.n_segments}-segment database "

@@ -22,7 +22,7 @@ from typing import List, Optional
 from ..checkpoint.scheduler import CheckpointPolicy
 from ..model.evaluate import evaluate
 from ..params import PAPER_DEFAULTS, SystemParameters
-from ..simulate.system import SimulatedSystem, SimulationConfig
+from ..sim.system import SimulatedSystem, SimulationConfig
 from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import fmt_overhead, text_table
 from .validation import validation_params

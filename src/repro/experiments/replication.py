@@ -15,7 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..checkpoint.scheduler import CheckpointPolicy
 from ..params import SystemParameters
-from ..simulate.system import SimulatedSystem, SimulationConfig
+from ..sim.system import SimulatedSystem, SimulationConfig
 from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import text_table
 from .stats import SampleSummary, summarize

@@ -32,7 +32,7 @@ from typing import List, Optional, Sequence
 from ..checkpoint.scheduler import CheckpointPolicy
 from ..model.evaluate import ModelResult, evaluate
 from ..params import SystemParameters
-from ..simulate.system import SimulatedSystem, SimulationConfig, SimulationMetrics
+from ..sim.system import SimulatedSystem, SimulationConfig, SimulationMetrics
 from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import fmt_overhead, text_table
 

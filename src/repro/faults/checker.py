@@ -6,7 +6,7 @@ open: it executes one simulation under an armed
 plan injects (or pulls the plug itself at end of run, so every checked
 run exercises recovery), recovers from backup image + stable log, and
 compares the recovered database record-by-record against the
-:class:`~repro.simulate.oracle.CommittedStateOracle` -- the independent
+:class:`~repro.sim.oracle.CommittedStateOracle` -- the independent
 shadow of exactly the durably-committed transactions.
 
 The checker deliberately catches only :class:`~repro.errors.CrashError`
@@ -31,7 +31,7 @@ from ..checkpoint.registry import resolve_algorithm
 from ..checkpoint.scheduler import CheckpointPolicy
 from ..errors import CrashError, MediaError
 from ..params import SystemParameters
-from ..simulate.system import SimulationConfig, SimulatedSystem
+from ..sim.system import SimulationConfig, SimulatedSystem
 from .plan import FaultPlan
 
 

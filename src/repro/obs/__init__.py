@@ -29,9 +29,9 @@ from .report import render_merged_sweep_telemetry, render_metrics_report
 from .telemetry import NULL_TELEMETRY, Telemetry
 
 # NOTE: repro.obs.presets is deliberately NOT imported here -- it needs
-# repro.simulate.system, which itself imports repro.obs.telemetry, and
+# repro.sim.system, which itself imports repro.obs.telemetry, and
 # eagerly importing it from this __init__ would close that cycle while
-# simulate.system is still half-initialised.  Import it directly:
+# sim.system is still half-initialised.  Import it directly:
 # ``from repro.obs.presets import get_preset``.
 
 __all__ = [

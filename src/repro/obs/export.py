@@ -9,7 +9,7 @@ The export format is line-oriented JSON with three line shapes:
   write_jsonl` emits;
 * a **metrics** footer -- ``{"type": "metrics", "summary": {...},
   "telemetry": {...}, "checkpoints": [...]}`` holding the final
-  :class:`~repro.simulate.system.SimulationMetrics` dict, the
+  :class:`~repro.sim.system.SimulationMetrics` dict, the
   :class:`~repro.obs.metrics.MetricsRegistry` snapshot, and the
   per-checkpoint phase history.
 
@@ -29,7 +29,7 @@ from ..errors import ConfigurationError
 from ..sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..simulate.system import SimulatedSystem
+    from ..sim.system import SimulatedSystem
 
 PathLike = Union[str, "os.PathLike[str]"]
 

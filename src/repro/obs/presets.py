@@ -15,7 +15,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..checkpoint.scheduler import CheckpointPolicy
 from ..errors import ConfigurationError
 from ..params import SystemParameters
-from ..simulate.system import SimulationConfig
+from ..sim.system import SimulationConfig
 
 
 @dataclass(frozen=True)

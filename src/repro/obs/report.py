@@ -21,7 +21,7 @@ _SPARK = " .:-=+*#%@"
 def text_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                title: str = "") -> str:
     # Imported lazily: repro.experiments.__init__ pulls in driver modules
-    # that import repro.simulate.system, which imports repro.obs -- an
+    # that import repro.sim.system, which imports repro.obs -- an
     # eager import here would close that cycle at module-load time.
     from ..experiments.common import text_table as _text_table
     return _text_table(headers, rows, title=title)

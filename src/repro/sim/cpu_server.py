@@ -22,15 +22,15 @@ from __future__ import annotations
 from typing import Callable
 
 from ..errors import ConfigurationError
-from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .engine import EventEngine
+from .ports import DISABLED_TELEMETRY, TelemetrySink
 
 
 class CpuServer:
     """Single FIFO processor serving instruction batches."""
 
     def __init__(self, engine: EventEngine, mips: float, *,
-                 telemetry: Telemetry = NULL_TELEMETRY) -> None:
+                 telemetry: TelemetrySink = DISABLED_TELEMETRY) -> None:
         if mips <= 0:
             raise ConfigurationError(f"mips must be positive, got {mips!r}")
         self.engine = engine

@@ -1,25 +1,58 @@
-"""The MMDBMS testbed: full-system simulation with crash injection.
+"""Deprecated alias of :mod:`repro.sim` (the unified simulation package).
 
-This package wires every substrate together -- database, log, locks,
-disks, ping-pong backups, transaction manager, a checkpointer, and the
-event engine -- into :class:`SimulatedSystem`.  A run executes a
-transaction workload while the checkpointer maintains the backup; a crash
-can be injected at any instant, after which recovery rebuilds the primary
-database and the result is checked against an independent
-committed-state oracle.
+The testbed historically lived half here (system wiring, oracle) and
+half in ``repro.sim`` (the event engine); the packages were merged into
+``repro.sim`` when the simulation core was componentized.  This shim
+keeps every historical import path working:
 
-The paper closes by announcing exactly such a testbed ("we are currently
-implementing a testbed with which we will be able to experimentally
-evaluate the algorithms presented here"); here it serves to validate the
-analytic model and to prove each algorithm's recovery correctness.
+* ``from repro.simulate import SimulatedSystem`` and friends re-export
+  the moved names (with one :class:`DeprecationWarning` per process);
+* ``repro.simulate.system`` and ``repro.simulate.oracle`` remain
+  importable submodules (thin re-export modules);
+* ``repro.simulate(...)`` stays callable as the :func:`repro.api.simulate`
+  facade (wired by ``repro/__init__``).
+
+New code should import from :mod:`repro.sim`.
 """
 
-from .oracle import CommittedStateOracle
-from .system import SimulatedSystem, SimulationConfig, SimulationMetrics
+from __future__ import annotations
 
-__all__ = [
+import warnings
+
+#: names forwarded to repro.sim (the old package surface, plus the rest
+#: of the kernel exports so "every existing import keeps working")
+_FORWARDED = (
     "CommittedStateOracle",
+    "RecordMismatch",
     "SimulatedSystem",
     "SimulationConfig",
     "SimulationMetrics",
-]
+)
+
+__all__ = list(_FORWARDED)
+
+_warned = False
+
+
+def _warn_once() -> None:
+    global _warned
+    if not _warned:
+        _warned = True
+        warnings.warn(
+            "repro.simulate is deprecated; import from repro.sim instead "
+            "(repro.simulate(...) as the api facade call is unaffected)",
+            DeprecationWarning, stacklevel=3)
+
+
+def __getattr__(name: str):
+    if name in _FORWARDED:
+        _warn_once()
+        from .. import sim
+        value = getattr(sim, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_FORWARDED))

@@ -11,6 +11,13 @@ uncorrupted image to recover from.
 
 from .archive import ArchivedCheckpoint, ArchiveManager, TapeDevice
 from .array import DiskArray
+from .backends import (
+    FileStorageBackend,
+    InMemoryStorageBackend,
+    create_backend_factory,
+    register_storage_backend,
+    storage_backend_names,
+)
 from .backup import BackupImage, BackupStore
 from .disk import Disk
 
@@ -21,5 +28,10 @@ __all__ = [
     "BackupStore",
     "Disk",
     "DiskArray",
+    "FileStorageBackend",
+    "InMemoryStorageBackend",
     "TapeDevice",
+    "create_backend_factory",
+    "register_storage_backend",
+    "storage_backend_names",
 ]

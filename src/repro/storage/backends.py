@@ -1,0 +1,204 @@
+"""Storage backends: the media behind a backup image.
+
+A backend owns the *data plane* of one durable database image -- the
+record values at segment granularity -- while
+:class:`~repro.storage.backup.BackupImage` keeps the checkpointing
+metadata (per-segment flush timestamps, presence bits, completion
+markers).  The split is the :class:`repro.sim.ports.StorageBackend` port:
+checkpointers and recovery never see the medium, so alternative media
+plug in without touching them.
+
+Two backends ship:
+
+* ``memory`` -- a numpy array, the original in-process representation
+  (its "durability" is the simulation convention that image contents
+  survive :meth:`BackupStore.crash`);
+* ``file`` -- a memory-mapped file per image, so image contents are
+  genuinely durable bytes on the host filesystem.  The simulated
+  *timing* is identical (disk service times come from
+  :class:`~repro.storage.disk.Disk`, not from the backend), which is
+  exactly what lets the crash-recovery matrix run unchanged against
+  either medium.
+
+Backends register by name; ``SimulationConfig(storage_backend="file")``
+or ``python -m repro simulate --storage-backend file`` selects one, and
+out-of-tree backends plug in via :func:`register_storage_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, InvalidStateError
+from ..params import SystemParameters
+
+#: a per-image factory: ``factory(image_index) -> StorageBackend``
+BackendFactory = Callable[[int], "object"]
+
+_BACKENDS: Dict[str, Callable[..., BackendFactory]] = {}
+
+
+def register_storage_backend(name: str):
+    """Register a backend-factory builder under ``name``.
+
+    The decorated callable receives ``(params, directory=None)`` and
+    returns a per-image factory (``image_index -> backend``).
+    """
+    def decorate(builder):
+        key = name.lower()
+        if key in _BACKENDS:
+            raise ConfigurationError(
+                f"storage backend {key!r} is already registered")
+        _BACKENDS[key] = builder
+        return builder
+    return decorate
+
+
+def storage_backend_names() -> tuple:
+    """Registered backend names, in registration order."""
+    return tuple(_BACKENDS)
+
+
+def create_backend_factory(
+    name: str,
+    params: SystemParameters,
+    directory: Optional[str] = None,
+) -> BackendFactory:
+    """Resolve a backend name to a per-image factory."""
+    builder = _BACKENDS.get(name.lower())
+    if builder is None:
+        known = ", ".join(storage_backend_names())
+        raise ConfigurationError(
+            f"unknown storage backend {name!r}; known: {known}")
+    return builder(params, directory=directory)
+
+
+class _SegmentedBackend:
+    """Shared segment addressing over a flat record array."""
+
+    def __init__(self, params: SystemParameters) -> None:
+        self.n_records = params.n_records
+        self.records_per_segment = params.records_per_segment
+
+    def _bounds(self, segment_index: int, n_words: Optional[int] = None):
+        first = segment_index * self.records_per_segment
+        return first, first + (self.records_per_segment
+                               if n_words is None else n_words)
+
+
+class InMemoryStorageBackend(_SegmentedBackend):
+    """The original medium: one numpy array per image."""
+
+    name = "memory"
+
+    def __init__(self, params: SystemParameters) -> None:
+        super().__init__(params)
+        self._values = np.zeros(self.n_records, dtype=np.int64)
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    def write_segment(self, segment_index: int, data: np.ndarray) -> None:
+        first, last = self._bounds(segment_index)
+        self._values[first:last] = data
+
+    def write_prefix(self, segment_index: int, prefix: np.ndarray) -> None:
+        first, last = self._bounds(segment_index, len(prefix))
+        self._values[first:last] = prefix
+
+    def read_segment(self, segment_index: int) -> np.ndarray:
+        first, last = self._bounds(segment_index)
+        return self._values[first:last].copy()
+
+    def snapshot(self) -> np.ndarray:
+        return self._values.copy()
+
+    def wipe(self) -> None:
+        self._values[:] = 0
+
+    def close(self) -> None:
+        pass
+
+
+class FileStorageBackend(_SegmentedBackend):
+    """A memory-mapped file per image: genuinely durable bytes.
+
+    The file holds ``n_records`` little-endian int64 words and is synced
+    after every segment write, so a host-process crash leaves exactly the
+    acknowledged writes on disk -- the property the simulated ping-pong
+    protocol assumes of its backup media.
+    """
+
+    name = "file"
+
+    def __init__(self, params: SystemParameters, path: str) -> None:
+        super().__init__(params)
+        self.path = path
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        # mode="r+" preserves an existing image file (re-attach after a
+        # simulated host restart); "w+" creates a zeroed one.
+        mode = "r+" if os.path.exists(path) else "w+"
+        self._values = np.memmap(path, dtype=np.int64, mode=mode,
+                                 shape=(self.n_records,))
+        self._closed = False
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InvalidStateError(f"backend for {self.path} is closed")
+
+    def write_segment(self, segment_index: int, data: np.ndarray) -> None:
+        self._check_open()
+        first, last = self._bounds(segment_index)
+        self._values[first:last] = data
+        self._values.flush()
+
+    def write_prefix(self, segment_index: int, prefix: np.ndarray) -> None:
+        self._check_open()
+        first, last = self._bounds(segment_index, len(prefix))
+        self._values[first:last] = prefix
+        self._values.flush()
+
+    def read_segment(self, segment_index: int) -> np.ndarray:
+        self._check_open()
+        first, last = self._bounds(segment_index)
+        return np.asarray(self._values[first:last]).copy()
+
+    def snapshot(self) -> np.ndarray:
+        self._check_open()
+        return np.asarray(self._values).copy()
+
+    def wipe(self) -> None:
+        self._check_open()
+        self._values[:] = 0
+        self._values.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._values.flush()
+            # Release the mmap before dropping the reference so the file
+            # handle closes deterministically (Windows-friendly, too).
+            del self._values
+            self._closed = True
+
+
+@register_storage_backend("memory")
+def _memory_factory(params: SystemParameters,
+                    directory: Optional[str] = None) -> BackendFactory:
+    return lambda image_index: InMemoryStorageBackend(params)
+
+
+@register_storage_backend("file")
+def _file_factory(params: SystemParameters,
+                  directory: Optional[str] = None) -> BackendFactory:
+    base = directory or tempfile.mkdtemp(prefix="repro-backup-")
+    return lambda image_index: FileStorageBackend(
+        params, os.path.join(base, f"image{image_index}.img"))

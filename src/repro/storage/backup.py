@@ -19,25 +19,36 @@ requires.
 Images store values durably: they survive :meth:`BackupStore.crash` (only
 in-flight write completions are lost, handled by the simulator cancelling
 their events).
+
+The image's *data plane* -- where the record values physically live --
+is a pluggable :class:`~repro.sim.ports.StorageBackend`
+(:mod:`repro.storage.backends`): the default in-memory array, or a
+memory-mapped file per image for genuinely durable bytes.  The image
+keeps only checkpointing metadata; every value read/write below
+delegates to the backend.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..errors import InvalidStateError, RecoveryError
 from ..params import SystemParameters
+from .backends import InMemoryStorageBackend
 
 
 class BackupImage:
     """One of the two on-disk database images."""
 
-    def __init__(self, index: int, params: SystemParameters) -> None:
+    def __init__(self, index: int, params: SystemParameters,
+                 backend: Optional[object] = None) -> None:
         self.index = index
         self.params = params
-        self.values = np.zeros(params.n_records, dtype=np.int64)
+        #: the storage medium holding this image's record values
+        self.backend = (backend if backend is not None
+                        else InMemoryStorageBackend(params))
         #: per-segment time of the last completed write into this image
         self.segment_flush_time = np.full(params.n_segments, -np.inf)
         #: whether the segment has ever been written to this image
@@ -53,6 +64,11 @@ class BackupImage:
         self.completed_begin_lsn: int = 0
         #: id of a checkpoint currently writing this image, if any
         self.active_checkpoint_id: Optional[int] = None
+
+    @property
+    def values(self) -> np.ndarray:
+        """The backend's live record array (compat/inspection surface)."""
+        return self.backend.values
 
     # -- checkpoint lifecycle -------------------------------------------------
     def begin_checkpoint(self, checkpoint_id: int) -> None:
@@ -88,14 +104,12 @@ class BackupImage:
     def write_segment(self, segment_index: int, data: np.ndarray,
                       flush_time: float) -> None:
         """Record the completion of a segment write into this image."""
-        first = segment_index * self.params.records_per_segment
-        last = first + self.params.records_per_segment
         if data.shape != (self.params.records_per_segment,):
             raise InvalidStateError(
                 f"segment {segment_index}: expected "
                 f"{self.params.records_per_segment} records, got {data.shape}"
             )
-        self.values[first:last] = data
+        self.backend.write_segment(segment_index, data)
         self.segment_flush_time[segment_index] = flush_time
         self.segment_present[segment_index] = True
 
@@ -116,8 +130,7 @@ class BackupImage:
             raise InvalidStateError(
                 f"torn prefix must be a strict, non-empty prefix of a "
                 f"segment ({words!r} of {self.params.records_per_segment})")
-        first = segment_index * self.params.records_per_segment
-        self.values[first:first + words] = prefix
+        self.backend.write_prefix(segment_index, prefix)
 
     def read_segment(self, segment_index: int) -> np.ndarray:
         """Read one segment back (recovery path)."""
@@ -125,9 +138,7 @@ class BackupImage:
             raise RecoveryError(
                 f"image {self.index} never received segment {segment_index}"
             )
-        first = segment_index * self.params.records_per_segment
-        last = first + self.params.records_per_segment
-        return self.values[first:last].copy()
+        return self.backend.read_segment(segment_index)
 
     # -- staleness ---------------------------------------------------------------
     def needs_segment(self, segment_index: int,
@@ -143,15 +154,20 @@ class BackupImage:
         return segment_timestamp > self.segment_flush_time[segment_index]
 
     def values_snapshot(self) -> np.ndarray:
-        return self.values.copy()
+        return self.backend.snapshot()
 
 
 class BackupStore:
     """The pair of ping-pong images plus alternation bookkeeping."""
 
-    def __init__(self, params: SystemParameters) -> None:
+    def __init__(self, params: SystemParameters,
+                 backend_factory: Optional[Callable[[int], object]] = None,
+                 ) -> None:
         self.params = params
-        self.images = (BackupImage(0, params), BackupImage(1, params))
+        make = (backend_factory if backend_factory is not None
+                else (lambda index: InMemoryStorageBackend(params)))
+        self.images = (BackupImage(0, params, backend=make(0)),
+                       BackupImage(1, params, backend=make(1)))
         self._next_image = 0
 
     def image(self, index: int) -> BackupImage:
@@ -202,7 +218,7 @@ class BackupStore:
                 f"image {index} is being written by checkpoint "
                 f"{image.active_checkpoint_id}; cannot fail it mid-write"
             )
-        image.values[:] = 0
+        image.backend.wipe()
         image.segment_flush_time[:] = -np.inf
         image.segment_present[:] = False
         image.completed_checkpoint_id = None

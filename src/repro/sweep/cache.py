@@ -7,7 +7,7 @@ Two problems have to be solved for a sweep cache to be trustworthy:
   identity, or process randomness.  :func:`canonical` renders any
   parameter value the sweeps use (frozen dataclasses such as
   :class:`~repro.params.SystemParameters` and
-  :class:`~repro.simulate.system.SimulationConfig`, enums, containers,
+  :class:`~repro.sim.system.SimulationConfig`, enums, containers,
   numbers) into one deterministic string, and :func:`point_key` hashes
   it with SHA-256;
 * **staleness** -- a cached result is only valid for the code that

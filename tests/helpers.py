@@ -17,7 +17,7 @@ from repro.mmdb.locks import LockManager
 from repro.params import SystemParameters
 from repro.sim.engine import EventEngine
 from repro.sim.timestamps import TimestampAuthority
-from repro.simulate.system import SimulatedSystem, SimulationConfig
+from repro.sim.system import SimulatedSystem, SimulationConfig
 from repro.storage.array import DiskArray
 from repro.storage.backup import BackupStore
 from repro.txn.manager import TransactionManager

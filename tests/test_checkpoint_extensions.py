@@ -177,7 +177,7 @@ class TestNaiveLock:
 class TestCOUQuiesceLatency:
     def _system(self, params, latency: bool):
         from repro.checkpoint.scheduler import CheckpointPolicy
-        from repro.simulate.system import SimulatedSystem, SimulationConfig
+        from repro.sim.system import SimulatedSystem, SimulationConfig
         return SimulatedSystem(SimulationConfig(
             params=params, algorithm="COUCOPY", seed=17,
             policy=CheckpointPolicy(), preload_backup=True,

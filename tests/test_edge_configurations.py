@@ -10,7 +10,7 @@ from repro.checkpoint.scheduler import CheckpointPolicy
 from repro.model.evaluate import evaluate
 from repro.model.restarts import sweep_average_conflict
 from repro.params import SystemParameters
-from repro.simulate.system import SimulatedSystem, SimulationConfig
+from repro.sim.system import SimulatedSystem, SimulationConfig
 from repro.txn.workload import AccessDistribution, WorkloadSpec
 
 

@@ -46,7 +46,7 @@ from repro.faults import (
     run_fault_cell,
 )
 from repro.params import SystemParameters
-from repro.simulate.oracle import RecordMismatch
+from repro.sim.oracle import RecordMismatch
 from repro.storage.disk import Disk
 
 MATRIX_ALGORITHMS = ALGORITHM_NAMES  # all six families

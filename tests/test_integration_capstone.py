@@ -14,7 +14,7 @@ import pytest
 from repro.checkpoint.base import CheckpointScope
 from repro.checkpoint.scheduler import CheckpointPolicy
 from repro.params import SystemParameters
-from repro.simulate.system import SimulatedSystem, SimulationConfig
+from repro.sim.system import SimulatedSystem, SimulationConfig
 from repro.storage.archive import ArchiveManager
 from repro.txn.workload import AccessDistribution, WorkloadSpec
 

@@ -31,7 +31,7 @@ from repro.checkpoint.base import CheckpointScope
 from repro.checkpoint.scheduler import CheckpointPolicy
 from repro.params import SystemParameters
 from repro.recovery.replay import replay_records
-from repro.simulate.system import SimulatedSystem, SimulationConfig
+from repro.sim.system import SimulatedSystem, SimulationConfig
 from repro.wal.log import LogManager
 
 

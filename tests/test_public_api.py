@@ -51,9 +51,14 @@ class TestFacade:
                                  lam=100.0)
         assert outcome.clean and not outcome.crashed
         assert outcome.metrics.transactions_committed > 0
-        # the facade call must not shadow the real subpackage
-        from repro.simulate.system import SimulatedSystem  # noqa: F401
-        import repro.simulate.system as system_module
+        # the facade call must not shadow the real subpackage (now a
+        # deprecation shim over repro.sim -- hence the expected warning
+        # on first import; see test_simulate_shim.py)
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.simulate.system import SimulatedSystem  # noqa: F401
+            import repro.simulate.system as system_module
         assert hasattr(system_module, "SimulatedSystem")
 
     def test_simulate_crash_verifies_recovery(self):

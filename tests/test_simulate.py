@@ -7,7 +7,7 @@ import pytest
 from tests.helpers import build_system, run_crash_recover
 from repro.errors import ConfigurationError, InvalidStateError
 from repro.params import SystemParameters
-from repro.simulate.oracle import CommittedStateOracle
+from repro.sim.oracle import CommittedStateOracle
 from repro.wal.log import LogManager
 
 
@@ -139,7 +139,7 @@ class TestSimulatedRecoveryCorrectness:
 
     def test_crash_before_any_checkpoint(self, tiny_params):
         from repro.checkpoint.scheduler import CheckpointPolicy
-        from repro.simulate.system import SimulatedSystem, SimulationConfig
+        from repro.sim.system import SimulatedSystem, SimulationConfig
         config = SimulationConfig(
             params=tiny_params, algorithm="FUZZYCOPY", seed=5,
             policy=CheckpointPolicy(interval=100.0, initial_delay=50.0))

@@ -1,0 +1,104 @@
+"""The ``repro.simulate`` deprecation shim.
+
+``repro.simulate`` was merged into ``repro.sim``; the shim keeps every
+historical import path alive with exactly one :class:`DeprecationWarning`
+per process, while ``repro.simulate(...)`` -- the callable api facade --
+stays warning-free.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+import repro.simulate as shim
+from repro.sim import builder as sim_builder
+from repro.sim import oracle as sim_oracle
+from repro.sim import system as sim_system
+
+
+def _reset_shim():
+    """Forget prior accesses so the warn-once behaviour is observable."""
+    shim._warned = False
+    for name in shim._FORWARDED:
+        vars(shim).pop(name, None)
+
+
+class TestDeprecationWarning:
+    def test_attribute_access_warns_exactly_once(self):
+        _reset_shim()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim.SimulatedSystem
+            shim.SimulationConfig
+            shim.CommittedStateOracle
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "repro.sim" in str(deprecations[0].message)
+
+    def test_plain_repro_import_does_not_warn(self):
+        # repro/__init__ itself does ``from . import simulate`` to build
+        # the callable facade; that must not count as deprecated usage.
+        # Only a fresh interpreter can observe the import itself.
+        import os
+        import pathlib
+        import subprocess
+        import sys
+        code = ("import warnings; warnings.simplefilter('error', "
+                "DeprecationWarning); import repro; print('ok')")
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ,
+                   PYTHONPATH=os.pathsep.join(
+                       p for p in (src, os.environ.get("PYTHONPATH")) if p))
+        proc = subprocess.run([sys.executable, "-c", code],
+                              capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
+
+    def test_facade_call_does_not_warn(self):
+        _reset_shim()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            outcome = repro.simulate("FUZZYCOPY", scale=2048, lam=100.0,
+                                     duration=0.3, seed=1)
+        assert outcome.metrics.transactions_submitted >= 0
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestReExports:
+    def test_forwarded_names_are_the_sim_objects(self):
+        _reset_shim()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert shim.SimulatedSystem is sim_system.SimulatedSystem
+            assert shim.SimulationConfig is sim_system.SimulationConfig
+            assert shim.SimulationMetrics is sim_system.SimulationMetrics
+            assert shim.CommittedStateOracle is sim_oracle.CommittedStateOracle
+            assert shim.RecordMismatch is sim_oracle.RecordMismatch
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            shim.NoSuchThing
+
+    def test_submodules_re_export(self):
+        import repro.simulate.oracle as old_oracle
+        import repro.simulate.system as old_system
+        assert old_system.SimulatedSystem is sim_system.SimulatedSystem
+        assert old_system.SystemBuilder is sim_builder.SystemBuilder
+        assert old_oracle.CommittedStateOracle is sim_oracle.CommittedStateOracle
+
+    def test_dir_lists_forwarded_names(self):
+        listing = dir(shim)
+        for name in ("SimulatedSystem", "SimulationConfig",
+                     "SimulationMetrics", "CommittedStateOracle"):
+            assert name in listing
+
+    def test_sim_package_exports_kernel_lazily(self):
+        import repro.sim as sim
+        assert sim.SimulatedSystem is sim_system.SimulatedSystem
+        assert sim.SystemBuilder is sim_builder.SystemBuilder
+        assert "SimulationConfig" in dir(sim)

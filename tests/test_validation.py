@@ -23,7 +23,7 @@ from repro.checkpoint.scheduler import CheckpointPolicy
 from repro.experiments.validation import run_validation, validation_params
 from repro.model.evaluate import ModelOptions, evaluate
 from repro.model.restarts import expected_reruns_heterogeneous
-from repro.simulate.system import SimulatedSystem, SimulationConfig
+from repro.sim.system import SimulatedSystem, SimulationConfig
 
 
 @pytest.fixture(scope="module")
