@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate workload specs against ``schemas/workload.schema.json``.
+
+Two modes, both stdlib-only (the validator is the subset checker from
+``check_metrics_schema.py``):
+
+* ``python scripts/check_workload_schema.py DOCUMENT.json`` -- validate
+  one spec document (a ``WorkloadSpec.to_dict`` rendering, as produced
+  by ``repro workload describe NAME --json``'s ``spec`` field or
+  accepted by ``repro workload run --spec``);
+* ``python scripts/check_workload_schema.py`` -- validate **every
+  registered scenario**: each preset's ``spec.to_dict()`` must satisfy
+  the schema and survive a strict ``from_dict`` round-trip unchanged.
+  This is the CI smoke step that keeps the schema, the presets, and
+  the serde honest with each other.
+
+Exit code 0 means valid; 1 means invalid (every violation is listed);
+2 means the inputs themselves could not be read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(_HERE)
+sys.path.insert(0, _HERE)                      # check_metrics_schema
+sys.path.insert(0, os.path.join(_REPO, "src"))  # repro (scenario mode)
+
+from check_metrics_schema import validate  # noqa: E402
+
+SCHEMA_PATH = os.path.join(_REPO, "schemas", "workload.schema.json")
+
+
+def _load(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _check_document(schema, document, label: str) -> list:
+    return [f"{label}{err[1:]}" if err.startswith("$") else f"{label}: {err}"
+            for err in validate(document, schema)]
+
+
+def _check_scenarios(schema) -> list:
+    from repro.workload import WorkloadSpec, get_scenario, scenario_names
+
+    errors = []
+    names = scenario_names()
+    if not names:
+        return ["no workload scenarios are registered"]
+    for name in names:
+        spec = get_scenario(name).spec
+        rendered = spec.to_dict()
+        errors.extend(_check_document(schema, rendered, name))
+        # The JSON hop must be lossless: encode, decode, rebuild, compare.
+        rebuilt = WorkloadSpec.from_dict(json.loads(json.dumps(rendered)))
+        if rebuilt != spec:
+            errors.append(f"{name}: from_dict(to_dict()) is not the "
+                          f"identity ({rebuilt!r} != {spec!r})")
+    return errors
+
+
+def main(argv) -> int:
+    try:
+        schema = _load(SCHEMA_PATH)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error reading schema: {exc}", file=sys.stderr)
+        return 2
+    if len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if len(argv) == 2:
+        try:
+            document = _load(argv[1])
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error reading document: {exc}", file=sys.stderr)
+            return 2
+        errors = _check_document(schema, document, "$")
+        checked = argv[1]
+    else:
+        errors = _check_scenarios(schema)
+        checked = "all registered scenarios"
+    if errors:
+        print(f"INVALID: {checked}")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"valid: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

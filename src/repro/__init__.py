@@ -45,7 +45,16 @@ from .model import ModelResult
 from .params import PAPER_DEFAULTS, SystemParameters
 from .sim import SimulatedSystem, SimulationConfig
 from .sweep import SweepResult, SweepRunner, SweepSpec
-from .txn import AccessDistribution, WorkloadSpec
+from .workload import (
+    AccessDistribution,
+    ArrivalSchedule,
+    SchedulePhase,
+    WorkloadScenario,
+    WorkloadSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 
 from . import api
 from . import simulate, sweep  # noqa: F811 - made callable facades below
@@ -75,6 +84,7 @@ __version__ = "1.1.0"
 __all__ = [
     "ALGORITHM_NAMES",
     "AccessDistribution",
+    "ArrivalSchedule",
     "CheckpointPolicy",
     "CheckpointScope",
     "CrashSpec",
@@ -83,6 +93,7 @@ __all__ = [
     "ModelResult",
     "PAPER_DEFAULTS",
     "ReproError",
+    "SchedulePhase",
     "SimulatedSystem",
     "SimulationConfig",
     "SimulationOutcome",
@@ -91,8 +102,12 @@ __all__ = [
     "SweepRunner",
     "SweepSpec",
     "SystemParameters",
+    "WorkloadScenario",
     "WorkloadSpec",
     "evaluate",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
     "simulate",
     "sweep",
     "__version__",

@@ -108,6 +108,7 @@ def simulate(
     crash: bool = False,
     stable_tail: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    workload: Optional[Any] = None,
     config: Optional[SimulationConfig] = None,
     **config_overrides: Any,
 ) -> SimulationOutcome:
@@ -139,6 +140,11 @@ def simulate(
             writes, transient I/O errors).  A crash the plan injects is
             completed, recovered, and oracle-verified exactly like
             ``crash=True`` -- the metrics then cover the truncated run.
+        workload: the run's workload -- a
+            :class:`~repro.workload.WorkloadSpec`, a registered scenario
+            name (``"write-storm"``; see
+            :func:`repro.workload.scenario_names`), or a spec dict.
+            ``None`` keeps the paper's default fixed-rate uniform load.
         config: a fully-built :class:`SimulationConfig`; overrides every
             other configuration argument.
         **config_overrides: extra :class:`SimulationConfig` fields
@@ -149,6 +155,8 @@ def simulate(
         A :class:`SimulationOutcome`; ``outcome.clean`` asserts the
         oracle found no discrepancies (``mismatches == []``).
     """
+    if workload is not None:
+        config_overrides["workload"] = workload
     if config is None:
         if params is None:
             params = SystemParameters.scaled_down(

@@ -19,7 +19,11 @@ Commands:
   previously exported JSONL file;
 * ``faults``      -- deterministic fault injection: run one fault plan
   (crash / torn writes / transient I/O) with verified recovery, or a
-  seeded crash matrix over every algorithm (``--matrix N``).
+  seeded crash matrix over every algorithm (``--matrix N``);
+* ``workload``    -- the open-system workload engine: ``list`` /
+  ``describe`` the registered scenarios, ``run`` one scenario with
+  offered-vs-served load reporting, or ``sweep`` a scenario axis
+  against an algorithm list.
 
 Sweep-backed commands (``figures``, ``validate``, ...) also accept
 ``--trace-out PATH`` (JSONL stream of per-cell completion events) and
@@ -196,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--storage-dir", default=None, metavar="DIR",
                      help="directory for the file backend's image files "
                           "(default: a fresh temporary directory)")
+    _add_workload_flags(sim)
 
     val = sub.add_parser("validate", help="model-vs-testbed comparison")
     val.add_argument("--duration", type=float, default=10.0)
@@ -303,7 +308,89 @@ def build_parser() -> argparse.ArgumentParser:
     flt.add_argument("--json", action="store_true",
                      help="machine-readable report(s)")
     _add_sweep_flags(flt)
+
+    wl = sub.add_parser(
+        "workload",
+        help="open-system workload engine: scenarios, schedules, sweeps")
+    wl_sub = wl.add_subparsers(dest="workload_command", required=True)
+
+    wl_list = wl_sub.add_parser("list", help="registered workload scenarios")
+    wl_list.add_argument("--json", action="store_true",
+                         help="machine-readable scenario catalog")
+
+    wl_desc = wl_sub.add_parser("describe",
+                                help="one scenario's spec in full")
+    wl_desc.add_argument("name", help="scenario name (see 'workload list')")
+    wl_desc.add_argument("--json", action="store_true",
+                         help="the scenario as WorkloadSpec.to_dict JSON")
+
+    wl_run = wl_sub.add_parser(
+        "run", help="run one scenario, reporting offered vs served load")
+    wl_run.add_argument("--scenario", default=None,
+                        help="registered scenario name")
+    wl_run.add_argument("--spec", default=None, metavar="FILE",
+                        help="JSON workload spec (WorkloadSpec.to_dict "
+                             "format; '-' reads stdin); alternative to "
+                             "--scenario")
+    wl_run.add_argument("--algorithm", default="COUCOPY",
+                        choices=list(ALL_ALGORITHM_NAMES))
+    wl_run.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds (default: the scenario's "
+                             "suggested duration, else 10)")
+    wl_run.add_argument("--scale", type=int, default=1024,
+                        help="database scale-down factor vs the paper")
+    wl_run.add_argument("--seed", type=int, default=0)
+    wl_run.add_argument("--interval", type=float, default=None,
+                        help="checkpoint interval (default: minimum policy)")
+    wl_run.add_argument("--crash", action="store_true",
+                        help="inject a crash at the end and verify recovery")
+    wl_run.add_argument("--json", action="store_true",
+                        help="machine-readable run report")
+
+    wl_sweep = wl_sub.add_parser(
+        "sweep", help="sweep a scenario axis against an algorithm list")
+    wl_sweep.add_argument("--scenarios", default=None,
+                          help="comma-separated scenario names "
+                               "(default: every registered scenario)")
+    wl_sweep.add_argument("--algorithms", default="FUZZYCOPY,COUCOPY",
+                          help="comma-separated algorithm list")
+    wl_sweep.add_argument("--duration", type=float, default=None,
+                          help="simulated seconds per cell (default: each "
+                               "scenario's suggested duration)")
+    wl_sweep.add_argument("--scale", type=int, default=1024,
+                          help="database scale-down factor vs the paper")
+    wl_sweep.add_argument("--seed", type=int, default=0)
+    wl_sweep.add_argument("--interval", type=float, default=None)
+    wl_sweep.add_argument("--json", action="store_true",
+                          help="machine-readable cell table")
+    _add_sweep_flags(wl_sweep)
     return parser
+
+
+def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
+    """Workload knobs for ``simulate`` (spec source + skew shorthands)."""
+    parser.add_argument("--workload", default=None, metavar="NAME|FILE",
+                        help="workload: a registered scenario name or a "
+                             "JSON spec file (WorkloadSpec.to_dict format; "
+                             "'-' reads stdin)")
+    parser.add_argument("--scenario", default=None, metavar="NAME",
+                        help="registered workload scenario (alias for "
+                             "--workload NAME)")
+    parser.add_argument("--zipf-theta", type=float, default=None,
+                        metavar="THETA",
+                        help="Zipf record selection with this exponent "
+                             "(>1); shorthand for a zipf-skewed spec")
+    parser.add_argument("--hot-fraction", type=float, default=None,
+                        metavar="H",
+                        help="hotspot record selection: fraction of "
+                             "records forming the hot set")
+    parser.add_argument("--hot-probability", type=float, default=None,
+                        metavar="P",
+                        help="hotspot record selection: probability an "
+                             "access lands in the hot set")
+    parser.add_argument("--uniform-arrivals", action="store_true",
+                        help="deterministically paced arrivals instead of "
+                             "Poisson sampling")
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -407,19 +494,76 @@ def _cmd_evaluate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _spec_from_file_or_name(value: str):
+    """A --workload/--spec operand: a JSON file, '-', or a scenario name."""
+    from .workload import WorkloadSpec, resolve_workload
+    if value == "-":
+        return WorkloadSpec.from_dict(json.loads(sys.stdin.read()))
+    if os.path.exists(value):
+        with open(value, encoding="utf-8") as handle:
+            return WorkloadSpec.from_dict(json.load(handle))
+    return resolve_workload(value)
+
+
+def _workload_from_flags(args: argparse.Namespace):
+    """The simulate command's workload spec, or None for the default."""
+    from dataclasses import replace
+
+    from .errors import ConfigurationError
+    from .workload import AccessDistribution, WorkloadSpec
+    if args.workload and args.scenario:
+        raise ConfigurationError(
+            "pass either --workload or --scenario, not both")
+    designator = args.workload or args.scenario
+    spec = (_spec_from_file_or_name(designator) if designator else None)
+    zipf = args.zipf_theta is not None
+    hotspot = (args.hot_fraction is not None
+               or args.hot_probability is not None)
+    if zipf and hotspot:
+        raise ConfigurationError(
+            "--zipf-theta conflicts with --hot-fraction/--hot-probability: "
+            "a spec has one record-selection distribution")
+    overrides: Dict[str, Any] = {}
+    if zipf:
+        overrides["distribution"] = AccessDistribution.ZIPF
+        overrides["zipf_theta"] = args.zipf_theta
+    if hotspot:
+        overrides["distribution"] = AccessDistribution.HOTSPOT
+        if args.hot_fraction is not None:
+            overrides["hot_fraction"] = args.hot_fraction
+        if args.hot_probability is not None:
+            overrides["hot_probability"] = args.hot_probability
+    if args.uniform_arrivals:
+        overrides["poisson_arrivals"] = False
+    if spec is None and not overrides:
+        return None
+    return replace(spec if spec is not None else WorkloadSpec(), **overrides)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> str:
     params = SystemParameters.scaled_down(
         args.scale, lam=args.lam, stable_log_tail=args.stable_tail)
+    workload = _workload_from_flags(args)
+    config_kwargs: Dict[str, Any] = {}
+    if workload is not None:
+        config_kwargs["workload"] = workload
     system = SimulatedSystem(SimulationConfig(
         params=params, algorithm=args.algorithm, seed=args.seed,
         policy=CheckpointPolicy(interval=args.interval),
         preload_backup=True,
         storage_backend=args.storage_backend,
-        storage_dir=args.storage_dir))
+        storage_dir=args.storage_dir,
+        **config_kwargs))
     metrics = system.run(args.duration)
     lines = [
         f"{args.algorithm} on a {params.n_segments}-segment database "
         f"({args.duration:.1f}s simulated, seed {args.seed})",
+    ]
+    if workload is not None:
+        lines.append(f"  workload             {workload.describe()}")
+        lines.append(f"  offered/served       {metrics.offered_rate:.1f} / "
+                     f"{metrics.served_rate:.1f} txns/s")
+    lines += [
         f"  committed            {metrics.transactions_committed}",
         f"  checkpoints          {metrics.checkpoints_completed}",
         f"  overhead/txn         {metrics.overhead_per_transaction:.0f} "
@@ -679,6 +823,150 @@ def _cmd_faults(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_workload(args: argparse.Namespace) -> str:
+    from .workload import get_scenario, scenario_names
+    if args.workload_command == "list":
+        scenarios = [get_scenario(name) for name in scenario_names()]
+        if args.json:
+            return json.dumps([s.to_dict() for s in scenarios],
+                              sort_keys=True, indent=2)
+        lines = [f"{len(scenarios)} registered workload scenarios:"]
+        for scenario in scenarios:
+            lines.append(f"  {scenario.describe()}")
+        return "\n".join(lines)
+    if args.workload_command == "describe":
+        scenario = get_scenario(args.name)
+        if args.json:
+            return json.dumps(scenario.to_dict(), sort_keys=True, indent=2)
+        spec = scenario.spec
+        lines = [
+            f"{scenario.name}: {scenario.description}",
+            f"  spec                 {spec.describe()}",
+        ]
+        if spec.schedule is not None:
+            sched = spec.schedule
+            lines.append(f"  schedule             {sched.describe()}")
+            lines.append(f"  offered/cycle        "
+                         f"{sched.offered(0.0, sched.total_duration):.0f} "
+                         f"expected arrivals over "
+                         f"{sched.total_duration:g}s")
+        if scenario.duration is not None:
+            lines.append(f"  suggested duration   {scenario.duration:g}s")
+        return "\n".join(lines)
+    if args.workload_command == "run":
+        return _workload_run(args)
+    return _workload_sweep(args)
+
+
+def _workload_run(args: argparse.Namespace) -> str:
+    from .api import simulate
+    from .errors import ConfigurationError
+    from .workload import get_scenario
+    if bool(args.scenario) == bool(args.spec):
+        raise ConfigurationError(
+            "pass exactly one of --scenario or --spec")
+    duration = args.duration
+    if args.scenario:
+        scenario = get_scenario(args.scenario)
+        spec = scenario.spec
+        if duration is None:
+            duration = scenario.duration
+    else:
+        spec = _spec_from_file_or_name(args.spec)
+    if duration is None:
+        duration = 10.0
+    outcome = simulate(
+        args.algorithm, scale=args.scale, duration=duration,
+        seed=args.seed, interval=args.interval, crash=args.crash,
+        workload=spec, telemetry=True)
+    metrics = outcome.metrics
+    telemetry = outcome.telemetry or {}
+    arrivals = telemetry.get("counters", {}).get("workload.arrivals", 0)
+    offered = metrics.offered_rate * metrics.elapsed
+    if args.json:
+        payload: Dict[str, Any] = {
+            "workload": spec.to_dict(),
+            "algorithm": args.algorithm,
+            "duration": duration,
+            "seed": args.seed,
+            "offered": offered,
+            "arrivals": arrivals,
+            "summary": asdict(metrics),
+            "clean": outcome.clean,
+        }
+        if outcome.recovery is not None:
+            payload["recovery"] = {
+                "used_checkpoint": outcome.recovery.used_checkpoint_id,
+                "replayed": outcome.recovery.transactions_replayed,
+            }
+        return json.dumps(payload, sort_keys=True, indent=2)
+    lines = [
+        f"{spec.name or 'workload'} under {args.algorithm} "
+        f"({duration:g}s simulated, seed {args.seed})",
+        f"  spec                 {spec.describe()}",
+        f"  offered              {offered:.0f} expected arrivals "
+        f"({metrics.offered_rate:.1f}/s)",
+        f"  submitted            {metrics.transactions_submitted} arrivals "
+        f"(telemetry: {arrivals})",
+        f"  served               {metrics.transactions_committed} commits "
+        f"({metrics.served_rate:.1f}/s)",
+        f"  checkpoints          {metrics.checkpoints_completed}",
+        f"  overhead/txn         {metrics.overhead_per_transaction:.0f} "
+        f"instructions",
+        f"  mean response        {metrics.mean_response_time * 1e3:.2f} ms",
+        f"  disk utilisation     {metrics.disk_utilisation:.0%}",
+    ]
+    if outcome.recovery is not None:
+        lines.append(
+            f"  crash+recover        checkpoint "
+            f"{outcome.recovery.used_checkpoint_id}, "
+            f"{outcome.recovery.transactions_replayed} txns replayed")
+        lines.append("  oracle               "
+                     + ("PASS" if outcome.clean
+                        else f"FAIL {outcome.mismatches}"))
+    return "\n".join(lines)
+
+
+def _workload_sweep(args: argparse.Namespace) -> str:
+    from .workload import scenario_names
+    from .workload.cells import run_scenario_cell, scenario_points
+    scenarios = (args.scenarios.split(",") if args.scenarios
+                 else list(scenario_names()))
+    algorithms = args.algorithms.split(",")
+    trace = _command_trace(args, "workload")
+    runner = _sweep_runner(args, trace=trace)
+    fixed: Dict[str, Any] = {"scale": args.scale, "seed": args.seed,
+                             "interval": args.interval}
+    if args.duration is not None:
+        fixed["duration"] = args.duration
+    result = runner.map(run_scenario_cell,
+                        scenario_points(scenarios, algorithms),
+                        fixed=fixed)
+    if trace is not None:
+        trace.export(args.trace_out, scenarios=",".join(scenarios))
+    if args.json:
+        return json.dumps(
+            {"cells": [cell.value for cell in result if cell.ok],
+             "sweep_failures": [{"kwargs": cell.kwargs, "error": cell.error}
+                                for cell in result.failures()]},
+            sort_keys=True, indent=2)
+    lines = [f"workload sweep: {len(scenarios)} scenarios x "
+             f"{len(algorithms)} algorithms = {len(result)} cells",
+             f"  {'scenario':<12} {'algorithm':<10} {'offered/s':>10} "
+             f"{'served/s':>10} {'committed':>10}"]
+    for cell in result:
+        if not cell.ok:
+            lines.append(f"  SWEEP ERROR {cell.kwargs.get('scenario')}/"
+                         f"{cell.kwargs.get('algorithm')}: {cell.error}")
+            continue
+        value = cell.value
+        lines.append(f"  {value['scenario']:<12} {value['algorithm']:<10} "
+                     f"{value['offered_rate']:>10.1f} "
+                     f"{value['served_rate']:>10.1f} "
+                     f"{value['served']:>10}")
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "figures": _cmd_figures,
@@ -692,6 +980,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
+    "workload": _cmd_workload,
 }
 
 

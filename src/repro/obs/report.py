@@ -133,6 +133,36 @@ def render_abort_taxonomy(summary: Optional[Dict[str, Any]],
     return text_table(["cause", "count", "share"], rows, title=title)
 
 
+def render_offered_vs_served(summary: Dict[str, Any],
+                             counters: Dict[str, Any]) -> str:
+    """Offered vs served load: the open-system workload's health check.
+
+    ``offered_rate`` is the workload schedule's analytic expectation
+    over the run, ``workload.arrivals`` the sampled stream's actual
+    count, and the commit throughput what the system kept up with --
+    a served rate well below the offered rate is the system saturating.
+    """
+    title = "offered vs served load"
+    offered = summary.get("offered_rate")
+    served = summary.get("served_rate")
+    if not offered and not served:
+        return f"{title}\n  (no workload rate telemetry)"
+    elapsed = summary.get("elapsed") or 0.0
+    rows: List[Sequence[object]] = [
+        ["offered (expected arrivals/s)", _fmt(offered or 0.0)],
+        ["submitted (sampled arrivals/s)",
+         _fmt((summary.get("transactions_submitted") or 0) / elapsed
+              if elapsed else 0.0)],
+        ["served (commits/s)", _fmt(served or 0.0)],
+    ]
+    arrivals = counters.get("workload.arrivals")
+    if arrivals is not None:
+        rows.append(["arrivals counted by telemetry", int(arrivals)])
+    if offered:
+        rows.append(["served/offered", f"{(served or 0.0) / offered:.1%}"])
+    return text_table(["load", "value"], rows, title=title)
+
+
 def render_summary(summary: Dict[str, Any],
                    title: str = "run summary") -> str:
     rows = []
@@ -161,6 +191,9 @@ def render_metrics_report(
     if summary:
         blocks.append(render_summary(summary))
     registry = telemetry or {}
+    if summary:
+        blocks.append(render_offered_vs_served(
+            summary, registry.get("counters", {})))
     blocks.append(render_quantile_table(registry.get("histograms", {})))
     blocks.append(render_checkpoint_phases(checkpoints or []))
     blocks.append(render_abort_taxonomy(summary,

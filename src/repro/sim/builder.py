@@ -230,8 +230,13 @@ class SystemBuilder:
                                    self.config.policy)
 
     def build_workload(self) -> WorkloadGenerator:
-        return WorkloadGenerator(self.params, self.config.workload,
-                                 self.streams)
+        spec = self.config.workload
+        if getattr(spec, "schedule", None) is not None:
+            # Imported here: repro.workload sits above this module in the
+            # layering, and fixed-rate runs never need it.
+            from ..workload.source import ScheduledWorkloadSource
+            return ScheduledWorkloadSource(self.params, spec, self.streams)
+        return WorkloadGenerator(self.params, spec, self.streams)
 
     def build_tracer(self) -> Tracer:
         return Tracer(enabled=self.config.trace)

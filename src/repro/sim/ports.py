@@ -169,14 +169,31 @@ class WorkloadSource(Protocol):
     """Where transactions come from.
 
     Satisfied by :class:`repro.txn.workload.WorkloadGenerator` (seeded
-    open-arrival synthetic load); a trace-replay source satisfies it
+    fixed-rate synthetic load) and
+    :class:`repro.workload.source.ScheduledWorkloadSource` (open-system
+    arrivals under a rate schedule); a trace-replay source satisfies it
     just as well.
+
+    The schedule-aware surface: ``next_interarrival`` takes the current
+    simulated time (time-varying sources sample the gap *from now*) and
+    may return ``None`` to end the arrival stream; ``rate_at`` and
+    ``expected_arrivals`` expose the offered-load curve so telemetry can
+    compare offered against served without knowing the source's shape.
     """
 
-    def next_interarrival(self) -> float:
+    def next_interarrival(self, now: float) -> Optional[float]:
+        """Seconds from ``now`` to the next arrival; None = stream over."""
         ...
 
     def make_transaction(self, now: float) -> Any:
+        ...
+
+    def rate_at(self, now: float) -> float:
+        """Offered arrival rate at ``now``, transactions/second."""
+        ...
+
+    def expected_arrivals(self, start: float, end: float) -> float:
+        """Expected arrivals offered in ``[start, end]``."""
         ...
 
 

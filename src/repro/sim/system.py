@@ -43,6 +43,10 @@ class SimulationConfig:
     algorithm: str = "FUZZYCOPY"
     scope: CheckpointScope = CheckpointScope.PARTIAL
     policy: CheckpointPolicy = field(default_factory=CheckpointPolicy)
+    #: the workload designator: a :class:`WorkloadSpec`, a registered
+    #: scenario name (``"write-storm"``), or a spec dict -- anything
+    #: :func:`repro.workload.resolve_workload` accepts.  Normalised to a
+    #: :class:`WorkloadSpec` at construction, so readers always see one.
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     seed: int = 0
     #: group-commit period for the volatile log tail, seconds
@@ -108,6 +112,12 @@ class SimulationConfig:
     #: directory for file-backed images (None: a fresh temp directory)
     storage_dir: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        if not isinstance(self.workload, WorkloadSpec):
+            from ..workload.scenarios import resolve_workload
+            object.__setattr__(self, "workload",
+                               resolve_workload(self.workload))
+
 
 @dataclass
 class SimulationMetrics:
@@ -131,6 +141,11 @@ class SimulationMetrics:
     response_time_p95: float
     #: fraction of the finite CPU consumed (None with an infinite CPU)
     cpu_utilisation: Optional[float] = None
+    #: mean arrival rate the workload *offered* over the run (the
+    #: schedule's analytic expectation; ``params.lam`` without one)
+    offered_rate: float = 0.0
+    #: commit throughput actually *served* over the run
+    served_rate: float = 0.0
 
 
 class SimulatedSystem:
@@ -244,12 +259,22 @@ class SimulatedSystem:
         return self.metrics()
 
     def _schedule_next_arrival(self) -> None:
-        delay = self.workload.next_interarrival()
+        delay = self.workload.next_interarrival(self.engine.now)
+        if delay is None:
+            # The arrival schedule has run out of load (it ended in a
+            # pause): the open system goes quiet, everything in flight
+            # still completes.
+            return
         self.engine.schedule_after(delay, self._arrival, label="txn arrival")
 
     def _arrival(self) -> None:
         txn = self.workload.make_transaction(self.engine.now)
         self.tracer.record(self.engine.now, "arrival", txn_id=txn.txn_id)
+        if self.telemetry.enabled:
+            self.telemetry.registry.count("workload.arrivals")
+            self.telemetry.registry.observe(
+                "workload.offered_rate",
+                self.workload.rate_at(self.engine.now))
         self.txn_manager.submit(txn)
         self._schedule_next_arrival()
 
@@ -416,4 +441,9 @@ class SimulatedSystem:
             cpu_utilisation=(self.cpu.utilisation(elapsed)
                              if self.cpu is not None and elapsed > 0
                              else None),
+            offered_rate=(
+                self.workload.expected_arrivals(
+                    self._run_started_at, self.engine.now) / elapsed
+                if elapsed > 0 else 0.0),
+            served_rate=committed / elapsed if elapsed > 0 else 0.0,
         )

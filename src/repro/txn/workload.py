@@ -12,82 +12,18 @@ which shrinks partial checkpoints but raises copy-on-update contention).
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-from typing import Optional, Tuple
-
 import numpy as np
 
-from ..errors import ConfigurationError
 from ..params import SystemParameters
 from ..sim.rng import RandomStreams
+
+# The declarative spec now lives in the workload package; re-exported
+# here so every historical ``from repro.txn.workload import WorkloadSpec``
+# call site keeps working unchanged.
+from ..workload.spec import AccessDistribution, WorkloadSpec
 from .transaction import Transaction
 
-
-class AccessDistribution(enum.Enum):
-    UNIFORM = "uniform"
-    ZIPF = "zipf"
-    HOTSPOT = "hotspot"
-
-
-@dataclass(frozen=True)
-class WorkloadSpec:
-    """How transactions pick their records and when they arrive.
-
-    Attributes:
-        distribution: record-selection skew (the paper uses UNIFORM).
-        zipf_theta: Zipf exponent when ``distribution`` is ZIPF (>1).
-        hot_fraction: fraction of records forming the hot set (HOTSPOT).
-        hot_probability: probability an access lands in the hot set.
-        poisson_arrivals: exponential inter-arrival times when True,
-            a regular ``1/lam`` spacing when False.
-        update_count_mix: optional ``((n_ru, weight), ...)`` mixture of
-            transaction sizes.  The paper assumes all transactions
-            identical "for simplicity"; a mixture exposes size-dependent
-            effects -- notably that wide transactions dominate two-color
-            aborts (the heterogeneity behind
-            ``repro.model.restarts.expected_reruns_heterogeneous``).
-            None keeps every transaction at ``params.n_ru`` updates.
-    """
-
-    distribution: AccessDistribution = AccessDistribution.UNIFORM
-    zipf_theta: float = 1.2
-    hot_fraction: float = 0.1
-    hot_probability: float = 0.8
-    poisson_arrivals: bool = True
-    update_count_mix: Optional[Tuple[Tuple[int, float], ...]] = None
-
-    def __post_init__(self) -> None:
-        if self.distribution is AccessDistribution.ZIPF and self.zipf_theta <= 1:
-            raise ConfigurationError(
-                f"zipf_theta must exceed 1, got {self.zipf_theta!r}"
-            )
-        if not 0 < self.hot_fraction < 1:
-            raise ConfigurationError(
-                f"hot_fraction must be in (0, 1), got {self.hot_fraction!r}"
-            )
-        if not 0 <= self.hot_probability <= 1:
-            raise ConfigurationError(
-                f"hot_probability must be in [0, 1], got {self.hot_probability!r}"
-            )
-        if self.update_count_mix is not None:
-            if not self.update_count_mix:
-                raise ConfigurationError("update_count_mix cannot be empty")
-            for n_ru, weight in self.update_count_mix:
-                if n_ru < 1:
-                    raise ConfigurationError(
-                        f"mixture sizes must be >= 1, got {n_ru!r}")
-                if weight <= 0:
-                    raise ConfigurationError(
-                        f"mixture weights must be positive, got {weight!r}")
-
-    @property
-    def mean_update_count(self) -> Optional[float]:
-        """The mixture's mean transaction size (None without a mixture)."""
-        if self.update_count_mix is None:
-            return None
-        total = sum(weight for _, weight in self.update_count_mix)
-        return sum(n * weight for n, weight in self.update_count_mix) / total
+__all__ = ["AccessDistribution", "WorkloadGenerator", "WorkloadSpec"]
 
 
 class WorkloadGenerator:
@@ -105,11 +41,26 @@ class WorkloadGenerator:
         self._next_txn_id = 1
 
     # -- arrivals -------------------------------------------------------------
-    def next_interarrival(self) -> float:
-        """Seconds until the next transaction arrives."""
+    def next_interarrival(self, now: float = 0.0) -> float:
+        """Seconds until the next transaction arrives.
+
+        The fixed-rate generator ignores ``now`` (its rate never
+        changes); the parameter is part of the
+        :class:`~repro.sim.ports.WorkloadSource` surface so
+        time-varying sources can sample the gap from the current
+        instant.
+        """
         if self.spec.poisson_arrivals:
             return self.streams.exponential(self.ARRIVAL_STREAM, self.params.lam)
         return 1.0 / self.params.lam
+
+    def rate_at(self, now: float = 0.0) -> float:
+        """Offered arrival rate at ``now``: the constant ``params.lam``."""
+        return self.params.lam
+
+    def expected_arrivals(self, start: float, end: float) -> float:
+        """Expected arrivals offered in ``[start, end]``."""
+        return self.params.lam * max(end - start, 0.0)
 
     # -- record selection ------------------------------------------------------
     def _draw_update_count(self) -> int:

@@ -1,0 +1,206 @@
+"""The declarative workload specification.
+
+:class:`WorkloadSpec` is the single description of *what load a run
+sees*: record-selection skew (paper Section 2.5 plus Zipf/hotspot
+extensions), transaction-size mixture, arrival discipline, and -- new
+with the open-system redesign -- an optional
+:class:`~repro.workload.schedule.ArrivalSchedule` of time-varying rate
+phases.  Without a schedule the spec means exactly what it always has:
+a fixed-rate stream at ``params.lam``, bit-identical to the paper
+model (the regression goldens in ``tests/data/workload_golden.json``
+hold this to ``repr``-level float equality).
+
+The class used to live in :mod:`repro.txn.workload`; it now resides
+here so the workload package owns its own vocabulary, and the old
+module re-exports it -- every existing ``WorkloadSpec(...)`` call site
+keeps working unchanged.
+
+Like :class:`~repro.faults.plan.FaultPlan`, specs are strictly
+dict/JSON round-trippable (:meth:`to_dict` / :meth:`from_dict` reject
+unknown keys), so they travel through sweep cache keys, JSONL exports,
+and the CLI.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .schedule import ArrivalSchedule
+
+
+class AccessDistribution(enum.Enum):
+    UNIFORM = "uniform"
+    ZIPF = "zipf"
+    HOTSPOT = "hotspot"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How transactions pick their records and when they arrive.
+
+    Attributes:
+        distribution: record-selection skew (the paper uses UNIFORM).
+        zipf_theta: Zipf exponent when ``distribution`` is ZIPF (>1).
+        hot_fraction: fraction of records forming the hot set (HOTSPOT).
+        hot_probability: probability an access lands in the hot set.
+        poisson_arrivals: exponential inter-arrival times when True,
+            a regular ``1/lam`` spacing when False.  With a schedule,
+            True samples the non-homogeneous Poisson process exactly
+            and False paces arrivals deterministically along the same
+            offered-load curve.
+        update_count_mix: optional ``((n_ru, weight), ...)`` mixture of
+            transaction sizes.  The paper assumes all transactions
+            identical "for simplicity"; a mixture exposes size-dependent
+            effects -- notably that wide transactions dominate two-color
+            aborts (the heterogeneity behind
+            ``repro.model.restarts.expected_reruns_heterogeneous``).
+            None keeps every transaction at ``params.n_ru`` updates.
+        schedule: optional time-varying arrival-rate schedule.  None
+            keeps the paper's closed-form fixed rate ``params.lam``;
+            a schedule replaces ``params.lam`` entirely with its own
+            absolute rates (the open-system model).
+        name: optional scenario name this spec was resolved from, kept
+            for provenance in reports and sweep rows.
+    """
+
+    distribution: AccessDistribution = AccessDistribution.UNIFORM
+    zipf_theta: float = 1.2
+    hot_fraction: float = 0.1
+    hot_probability: float = 0.8
+    poisson_arrivals: bool = True
+    update_count_mix: Optional[Tuple[Tuple[int, float], ...]] = None
+    schedule: Optional[ArrivalSchedule] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.distribution is AccessDistribution.ZIPF and self.zipf_theta <= 1:
+            raise ConfigurationError(
+                f"zipf_theta must exceed 1, got {self.zipf_theta!r}"
+            )
+        if not 0 < self.hot_fraction < 1:
+            raise ConfigurationError(
+                f"hot_fraction must be in (0, 1), got {self.hot_fraction!r}"
+            )
+        if not 0 <= self.hot_probability <= 1:
+            raise ConfigurationError(
+                f"hot_probability must be in [0, 1], got {self.hot_probability!r}"
+            )
+        if self.update_count_mix is not None:
+            if not self.update_count_mix:
+                raise ConfigurationError("update_count_mix cannot be empty")
+            for n_ru, weight in self.update_count_mix:
+                if n_ru < 1:
+                    raise ConfigurationError(
+                        f"mixture sizes must be >= 1, got {n_ru!r}")
+                if weight <= 0:
+                    raise ConfigurationError(
+                        f"mixture weights must be positive, got {weight!r}")
+        if self.schedule is not None and not isinstance(self.schedule,
+                                                        ArrivalSchedule):
+            raise ConfigurationError(
+                f"schedule must be an ArrivalSchedule, "
+                f"got {type(self.schedule).__name__}")
+
+    @property
+    def mean_update_count(self) -> Optional[float]:
+        """The mixture's mean transaction size (None without a mixture)."""
+        if self.update_count_mix is None:
+            return None
+        total = sum(weight for _, weight in self.update_count_mix)
+        return sum(n * weight for n, weight in self.update_count_mix) / total
+
+    # ------------------------------------------------------------------
+    # serialisation (sweepable / CLI / cache-key friendly)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON rendering; :meth:`from_dict` round-trips it."""
+        out: Dict[str, Any] = {
+            "distribution": self.distribution.value,
+            "zipf_theta": self.zipf_theta,
+            "hot_fraction": self.hot_fraction,
+            "hot_probability": self.hot_probability,
+            "poisson_arrivals": self.poisson_arrivals,
+        }
+        if self.update_count_mix is not None:
+            out["update_count_mix"] = [[n, w]
+                                       for n, w in self.update_count_mix]
+        if self.schedule is not None:
+            out["schedule"] = self.schedule.to_dict()
+        if self.name is not None:
+            out["name"] = self.name
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        """Rebuild a spec from :meth:`to_dict` output (strict keys)."""
+        known = {"distribution", "zipf_theta", "hot_fraction",
+                 "hot_probability", "poisson_arrivals", "update_count_mix",
+                 "schedule", "name"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown WorkloadSpec keys: {sorted(unknown)!r}")
+        kwargs: Dict[str, Any] = {}
+        if "distribution" in data:
+            raw = data["distribution"]
+            try:
+                kwargs["distribution"] = (
+                    raw if isinstance(raw, AccessDistribution)
+                    else AccessDistribution(str(raw).lower()))
+            except ValueError:
+                choices = [d.value for d in AccessDistribution]
+                raise ConfigurationError(
+                    f"distribution must be one of {choices}, got {raw!r}")
+        for field_name in ("zipf_theta", "hot_fraction", "hot_probability"):
+            if field_name in data:
+                kwargs[field_name] = float(data[field_name])
+        if "poisson_arrivals" in data:
+            kwargs["poisson_arrivals"] = bool(data["poisson_arrivals"])
+        mix = data.get("update_count_mix")
+        if mix is not None:
+            try:
+                kwargs["update_count_mix"] = tuple(
+                    (int(n), float(w)) for n, w in mix)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"update_count_mix must be [[n, weight], ...], "
+                    f"got {mix!r}")
+        schedule = data.get("schedule")
+        if schedule is not None:
+            kwargs["schedule"] = (
+                schedule if isinstance(schedule, ArrivalSchedule)
+                else ArrivalSchedule.from_dict(schedule))
+        if data.get("name") is not None:
+            kwargs["name"] = str(data["name"])
+        return cls(**kwargs)
+
+    def with_schedule(self, schedule: Optional[ArrivalSchedule]
+                      ) -> "WorkloadSpec":
+        """A copy of this spec under a different arrival schedule."""
+        return replace(self, schedule=schedule)
+
+    def describe(self) -> str:
+        """One human line, for ``repro workload describe`` and reports."""
+        parts = []
+        if self.name:
+            parts.append(self.name)
+        if self.distribution is AccessDistribution.ZIPF:
+            parts.append(f"zipf(theta={self.zipf_theta:g})")
+        elif self.distribution is AccessDistribution.HOTSPOT:
+            parts.append(f"hotspot({self.hot_fraction:g}"
+                         f"@{self.hot_probability:g})")
+        else:
+            parts.append("uniform")
+        if self.update_count_mix is not None:
+            mix = ",".join(f"{n}x{w:g}" for n, w in self.update_count_mix)
+            parts.append(f"mix[{mix}]")
+        if not self.poisson_arrivals:
+            parts.append("paced")
+        if self.schedule is not None:
+            parts.append(self.schedule.describe())
+        else:
+            parts.append("rate=params.lam")
+        return " ".join(parts)
