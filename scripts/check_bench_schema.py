@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate a ``BENCH_*.json`` payload against ``schemas/bench.schema.json``.
+
+Stdlib-only (the validator is the subset checker from
+``check_metrics_schema.py``)::
+
+    python scripts/check_bench_schema.py BENCH_7.json
+    python scripts/check_bench_schema.py SCHEMA.json BENCH_7.json
+
+With one argument the repo's checked-in schema is used.  Beyond the
+structural check, the measured rates themselves are sanity-checked:
+every ``*_per_second`` rate must be positive and recovery must have
+been oracle-verified -- a bench point claiming zero throughput or an
+unverified recovery is a broken measurement, not a slow machine.
+
+Exit code 0 means valid; 1 means invalid (every violation is listed);
+2 means the inputs themselves could not be read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any, List
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(_HERE)
+sys.path.insert(0, _HERE)                      # check_metrics_schema
+
+from check_metrics_schema import validate  # noqa: E402
+
+SCHEMA_PATH = os.path.join(_REPO, "schemas", "bench.schema.json")
+
+
+def _load(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_rates(payload: Any) -> List[str]:
+    """Semantic violations the structural schema cannot express."""
+    errors: List[str] = []
+    results = payload.get("results")
+    if not isinstance(results, dict):
+        return errors  # the structural pass already flagged it
+    for section, entry in sorted(results.items()):
+        if not isinstance(entry, dict):
+            continue
+        for key, value in sorted(entry.items()):
+            if key.endswith("_per_second") and not (
+                    isinstance(value, (int, float)) and value > 0):
+                errors.append(
+                    f"$.results.{section}.{key}: rate must be > 0, "
+                    f"got {value!r}")
+    recovery = results.get("recovery_replay")
+    if isinstance(recovery, dict) and recovery.get("verified") is not True:
+        errors.append("$.results.recovery_replay.verified: recovery was "
+                      "not oracle-verified")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) == 2:
+        schema_path, document_path = SCHEMA_PATH, argv[1]
+    elif len(argv) == 3:
+        schema_path, document_path = argv[1], argv[2]
+    else:
+        print(f"usage: {argv[0]} [SCHEMA.json] BENCH.json", file=sys.stderr)
+        return 2
+    try:
+        schema = _load(schema_path)
+        document = _load(document_path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error reading inputs: {exc}", file=sys.stderr)
+        return 2
+    errors = validate(document, schema) + check_rates(document)
+    if errors:
+        print(f"{document_path} does NOT satisfy {schema_path}:",
+              file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"{document_path} satisfies {schema_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

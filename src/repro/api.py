@@ -83,6 +83,10 @@ class SimulationOutcome:
     #: ``None`` otherwise.  A plain dict, so outcomes stay picklable and
     #: sweep caches can carry it (``SweepResult.merged_telemetry``).
     telemetry: Optional[Dict[str, Any]] = None
+    #: span snapshot (plain dicts, :meth:`SpanRecorder.snapshot` form)
+    #: when the run had ``spans=True``; ``None`` otherwise.  Feed it to
+    #: :func:`repro.obs.attribute_stalls` / :func:`repro.obs.chrome_trace`.
+    spans: Optional[List[Dict[str, Any]]] = None
 
     @property
     def crashed(self) -> bool:
@@ -148,8 +152,8 @@ def simulate(
         config: a fully-built :class:`SimulationConfig`; overrides every
             other configuration argument.
         **config_overrides: extra :class:`SimulationConfig` fields
-            (``trace=True``, ``telemetry=True``, ``cpu_mips=50.0``,
-            ``logical_updates=True``, ...).
+            (``trace=True``, ``telemetry=True``, ``spans=True``,
+            ``cpu_mips=50.0``, ``logical_updates=True``, ...).
 
     Returns:
         A :class:`SimulationOutcome`; ``outcome.clean`` asserts the
@@ -200,7 +204,8 @@ def simulate(
         mismatches = system.verify_recovery()
     return SimulationOutcome(config=config, metrics=metrics,
                              recovery=recovery, mismatches=mismatches,
-                             telemetry=system.telemetry_snapshot())
+                             telemetry=system.telemetry_snapshot(),
+                             spans=system.spans_snapshot())
 
 
 def sweep(

@@ -66,10 +66,15 @@ class ActionConsistentFlushCheckpointer(_ActionConsistentBase):
         data_timestamp = segment.timestamp
         reflected_lsn = segment.lsn
         self.ledger.charge_lsn(synchronous=False)
+        wal_span = (self.spans.begin("ckpt.wal_wait", parent=run.span,
+                                     segment=index)
+                    if self.spans.enabled else -1)
 
         def stable() -> None:
             if run is not self.current:
                 return
+            if wal_span >= 0:
+                self.spans.end(wal_span)
             self._issue_write(
                 run, index, data, data_timestamp,
                 reflected_lsn=reflected_lsn,

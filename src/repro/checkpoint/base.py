@@ -44,6 +44,7 @@ from ..faults.injector import NULL_INJECTOR, FaultInjector
 from ..mmdb.database import Database
 from ..mmdb.locks import LockManager
 from ..mmdb.segment import Segment
+from ..obs.spans import NULL_SPANS, SpanRecorder
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..params import SystemParameters
 from ..sim.engine import EventEngine
@@ -114,6 +115,8 @@ class CheckpointRun:
     # COU state
     tau_ch: int = 0              # tau(CH)
     watermark: int = -1          # highest segment index already secured
+    #: root span handle for this checkpoint (-1 when spans are off)
+    span: int = -1
 
     def hold_slot(self) -> None:
         self.outstanding += 1
@@ -156,6 +159,7 @@ class BaseCheckpointer:
         truncate_log: bool = True,
         telemetry: Telemetry = NULL_TELEMETRY,
         faults: FaultInjector = NULL_INJECTOR,
+        spans: SpanRecorder = NULL_SPANS,
     ) -> None:
         if self.requires_stable_tail and not params.stable_log_tail:
             raise ConfigurationError(
@@ -175,6 +179,8 @@ class BaseCheckpointer:
         #: fault-injection handle (phase-crash triggers, torn-write
         #: bookkeeping); :data:`NULL_INJECTOR` when no plan is armed
         self.faults = faults
+        #: span recorder (phase windows); :data:`NULL_SPANS` = off
+        self.spans = spans
         self.scope = scope
         #: model the disk time of the begin-checkpoint log force (only the
         #: copy-on-update family quiesces transactions across it)
@@ -232,6 +238,10 @@ class BaseCheckpointer:
         run = CheckpointRun(checkpoint_id=checkpoint_id, image=image,
                             began_at=self.engine.now)
         self.current = run
+        if self.spans.enabled:
+            run.span = self.spans.begin(
+                "ckpt", checkpoint_id=checkpoint_id, algorithm=self.name,
+                image=image.index)
         self._begin(run)
         if not run.deferred:
             self._advance(run)
@@ -251,6 +261,10 @@ class BaseCheckpointer:
             active_txns=active,
             image=run.image.index,
         )
+        if self.spans.enabled:
+            self.spans.emit("ckpt.begin", self.engine.now, 0.0,
+                            parent=run.span,
+                            checkpoint_id=run.checkpoint_id)
         if self.faults.armed:
             self.faults.on_checkpoint_phase("begin", run.checkpoint_id, 0)
 
@@ -276,6 +290,9 @@ class BaseCheckpointer:
             # not yet logged: the checkpoint must be unusable to recovery.
             self.faults.on_checkpoint_phase("end", run.checkpoint_id,
                                             run.segments_flushed)
+        if self.spans.enabled:
+            self.spans.emit("ckpt.end", self.engine.now, 0.0,
+                            parent=run.span, checkpoint_id=run.checkpoint_id)
         run.finished = True
         self._end(run)
         begin_lsn = run.begin_marker.lsn if run.begin_marker is not None else 0
@@ -314,6 +331,11 @@ class BaseCheckpointer:
         )
         self.history.append(stats)
         self.current = None
+        if self.spans.enabled:
+            self.spans.end(run.span,
+                           segments_flushed=stats.segments_flushed,
+                           segments_skipped=stats.segments_skipped,
+                           words_written=stats.words_written)
         if self.telemetry.enabled:
             registry = self.telemetry.registry
             registry.count("ckpt.completed")
@@ -380,11 +402,13 @@ class BaseCheckpointer:
             self.faults.note_write_issued(run.image, index, data,
                                           data_timestamp)
         issued_at = self.engine.now
+        io_span = (self.spans.begin("ckpt.io", parent=run.span, segment=index)
+                   if self.spans.enabled else -1)
         completion = self.array.submit(issued_at, self.params.s_seg)
         self.engine.schedule_at(
             completion,
             lambda: self._write_done(run, index, data, data_timestamp,
-                                     on_written, issued_at),
+                                     on_written, issued_at, io_span),
             label=f"{self.name} write seg {index}",
         )
 
@@ -396,7 +420,10 @@ class BaseCheckpointer:
         data_timestamp: float,
         on_written: Optional[Callable[[], None]],
         issued_at: float = 0.0,
+        io_span: int = -1,
     ) -> None:
+        if io_span >= 0:
+            self.spans.end(io_span)
         if self.faults.armed:
             self.faults.note_write_completed(run.image.index, index)
         if run is not self.current:
@@ -454,6 +481,9 @@ class BaseCheckpointer:
         run.hold_slot()
         run.buffer_copies += 1
         buffered_at = self.engine.now if self.telemetry.enabled else 0.0
+        wal_span = (self.spans.begin("ckpt.wal_wait", parent=run.span,
+                                     segment=index)
+                    if self.spans.enabled else -1)
         self.ledger.charge_alloc(synchronous=False)
         self.ledger.charge_copy(self.params.s_seg, synchronous=False)
         if self.uses_lsns:
@@ -471,6 +501,8 @@ class BaseCheckpointer:
                 wal_wait = self.engine.now - buffered_at
                 run.wal_wait_time += wal_wait
                 self.telemetry.registry.observe("ckpt.wal_wait", wal_wait)
+            if wal_span >= 0:
+                self.spans.end(wal_span)
             self._issue_write(run, index, data, data_timestamp,
                               reflected_lsn=reflected_lsn, on_written=written)
 

@@ -45,6 +45,9 @@ class _CopyOnUpdateBase(BaseCheckpointer):
 
     def _begin(self, run: CheckpointRun) -> None:
         manager = self.txn_manager
+        quiesce_span = (self.spans.begin("ckpt.quiesce", parent=run.span,
+                                         checkpoint_id=run.checkpoint_id)
+                        if self.spans.enabled else -1)
         if manager is not None:
             manager.quiesce()
         # Transactions execute atomically in simulated time, so the system
@@ -77,6 +80,8 @@ class _CopyOnUpdateBase(BaseCheckpointer):
                 self._force_log_flush()
                 if manager is not None:
                     manager.resume()
+                if quiesce_span >= 0:
+                    self.spans.end(quiesce_span, deferred=True)
                 run.deferred = False
                 self._advance(run)
 
@@ -86,6 +91,8 @@ class _CopyOnUpdateBase(BaseCheckpointer):
         self._force_log_flush()
         if manager is not None:
             manager.resume()
+        if quiesce_span >= 0:
+            self.spans.end(quiesce_span)
 
     # -- the transaction-side copy (Figure 3.2) --------------------------------
     def before_install(self, txn: Transaction, segment: Segment) -> None:

@@ -58,6 +58,9 @@ class _TwoColorBase(BaseCheckpointer):
         segment.painted_black = True
         if self.telemetry.enabled:
             self.telemetry.registry.count("ckpt.segments_painted")
+        if self.spans.enabled and self.current is not None:
+            self.spans.emit("ckpt.paint", self.engine.now, 0.0,
+                            parent=self.current.span, segment=segment.index)
         if self.faults.armed and self.current is not None:
             # Crash with the database part-white, part-black: recovery
             # must fall back to the previous complete image.
@@ -102,6 +105,9 @@ class TwoColorFlushCheckpointer(_TwoColorBase):
         data_timestamp = segment.timestamp
         reflected_lsn = segment.lsn
         self.ledger.charge_lsn(synchronous=False)
+        wal_span = (self.spans.begin("ckpt.wal_wait", parent=run.span,
+                                     segment=index)
+                    if self.spans.enabled else -1)
 
         def written() -> None:
             self._paint_black(segment)
@@ -110,6 +116,8 @@ class TwoColorFlushCheckpointer(_TwoColorBase):
         def stable() -> None:
             if run is not self.current:
                 return  # crash while the lock waited on the log flush
+            if wal_span >= 0:
+                self.spans.end(wal_span)
             self._issue_write(run, index, data, data_timestamp,
                               reflected_lsn=reflected_lsn, on_written=written)
 

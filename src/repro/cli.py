@@ -16,7 +16,13 @@ Commands:
 * ``metrics``     -- telemetry report for one instrumented testbed run
   (quantile tables, checkpoint phase timings, abort taxonomy, or JSON);
 * ``trace``       -- event-trace export/summary for one run, or for a
-  previously exported JSONL file;
+  previously exported JSONL file; ``--attribution`` adds the
+  checkpoint-stall decomposition of tail latency (span-recorded run),
+  ``--chrome-out`` exports the spans as Chrome-trace JSON for
+  Perfetto / ``chrome://tracing``;
+* ``bench``       -- the canonical perf harness: engine events/sec,
+  simulated txns/sec, recovery replay rate, sweep wall-clock, written
+  as the schema-validated ``BENCH_<n>.json`` trajectory point;
 * ``faults``      -- deterministic fault injection: run one fault plan
   (crash / torn writes / transient I/O) with verified recovery, or a
   seeded crash matrix over every algorithm (``--matrix N``);
@@ -250,6 +256,38 @@ def build_parser() -> argparse.ArgumentParser:
                           "simulating")
     trc.add_argument("--tail", type=int, default=20, metavar="N",
                      help="show the last N buffered events (default 20)")
+    trc.add_argument("--spans", action="store_true",
+                     help="record begin/end spans (txn lifecycle, "
+                          "checkpoint phases, WAL flushes) alongside the "
+                          "event trace; implied by --attribution and "
+                          "--chrome-out")
+    trc.add_argument("--attribution", action="store_true",
+                     help="decompose p50/p95/p99 commit latency by cause "
+                          "(quiesce / ckpt-held locks / rerun backoff / "
+                          "cpu / service) by joining txn spans against "
+                          "overlapping checkpoint spans")
+    trc.add_argument("--chrome-out", default=None, metavar="PATH",
+                     help="write the span trace as Chrome-trace JSON "
+                          "(loads in Perfetto / chrome://tracing)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="canonical perf harness; writes the BENCH_<n>.json "
+             "trajectory point")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke sizes (~10x cheaper, 1 repeat)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="output path (default: BENCH_<pr>.json in the "
+                            "current directory)")
+    bench.add_argument("--pr", type=int, default=None, metavar="N",
+                       help="PR ordinal stamped into the payload and the "
+                            "default filename")
+    bench.add_argument("--repeats", type=int, default=None, metavar="R",
+                       help="override the repeat count (best wall time "
+                            "is kept)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the payload instead of the summary "
+                            "(the file is written either way)")
 
     flt = sub.add_parser(
         "faults",
@@ -634,12 +672,14 @@ def _cmd_report(args: argparse.Namespace) -> str:
     return f"report written to {path}"
 
 
-def _build_run(args: argparse.Namespace, *,
-               trace: bool) -> "tuple[SimulatedSystem, float, Dict[str, Any]]":
+def _build_run(args: argparse.Namespace, *, trace: bool,
+               spans: bool = False,
+               ) -> "tuple[SimulatedSystem, float, Dict[str, Any]]":
     """One telemetry-instrumented system from a preset or run flags."""
     if args.preset:
         preset = get_preset(args.preset)
-        config = preset.build_config(telemetry=True, trace=trace)
+        config = preset.build_config(telemetry=True, trace=trace,
+                                     spans=spans)
         duration = (args.duration if args.duration is not None
                     else preset.duration)
         meta = preset.meta()
@@ -650,7 +690,7 @@ def _build_run(args: argparse.Namespace, *,
         config = SimulationConfig(
             params=params, algorithm=args.algorithm, seed=args.seed,
             policy=CheckpointPolicy(interval=args.interval),
-            preload_backup=True, telemetry=True, trace=trace)
+            preload_backup=True, telemetry=True, trace=trace, spans=spans)
         duration = args.duration if args.duration is not None else 6.0
         meta = {"algorithm": args.algorithm, "scale": args.scale,
                 "lam": args.lam, "duration": duration, "seed": args.seed}
@@ -688,22 +728,41 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
 
 
 def _cmd_trace(args: argparse.Namespace) -> str:
-    from .obs.export import export_system_run
+    from .errors import ConfigurationError
+    from .obs.export import export_system_run, load_run
+    want_spans = args.spans or args.attribution or bool(args.chrome_out)
+    spans: Optional[List[Dict[str, Any]]] = None
     if args.load:
-        tracer = Tracer.from_jsonl(args.load)
+        record = load_run(args.load)
+        tracer = record.tracer
+        spans = record.spans
         header = f"{args.load}: {len(tracer)} buffered events"
+        if want_spans and spans is None:
+            raise ConfigurationError(
+                f"{args.load} carries no span trace; re-export the run "
+                "with 'repro trace --spans --out PATH'")
     else:
-        system, duration, meta = _build_run(args, trace=True)
+        system, duration, meta = _build_run(args, trace=True,
+                                            spans=want_spans)
         system.run(duration)
         tracer = system.tracer
+        spans = system.spans_snapshot()
         header = (f"{meta['algorithm']} seed={meta['seed']}: "
                   f"{tracer.recorded} events recorded, "
                   f"{tracer.dropped} dropped "
                   f"(rate {tracer.drop_rate:.2%}), "
                   f"{len(tracer)} buffered")
+        if spans is not None:
+            header += f"; {len(spans)} spans"
         if args.out:
             lines = export_system_run(args.out, system, meta=meta)
             print(f"{lines} lines written to {args.out}", file=sys.stderr)
+    if args.chrome_out:
+        from .obs.spans import chrome_trace
+        with open(args.chrome_out, "w", encoding="utf-8") as fp:
+            json.dump(chrome_trace(spans or []), fp)
+        print(f"chrome trace written to {args.chrome_out} "
+              "(open in Perfetto or chrome://tracing)", file=sys.stderr)
     out = [header, "", "events by kind:"]
     kinds = tracer.kinds()
     for kind in sorted(kinds):
@@ -716,7 +775,21 @@ def _cmd_trace(args: argparse.Namespace) -> str:
             fields = " ".join(f"{name}={value}" for name, value
                               in sorted(event.fields.items()))
             out.append(f"  {event.time:10.6f}  {event.kind:20s} {fields}")
+    if args.attribution:
+        from .obs.attribution import render_attribution
+        out.append("")
+        out.append(render_attribution(spans or []))
     return "\n".join(out)
+
+
+def _cmd_bench(args: argparse.Namespace) -> str:
+    from .bench import render_bench, write_bench
+    path, payload = write_bench(args.out, quick=args.quick, pr=args.pr,
+                                repeats=args.repeats)
+    print(f"bench written to {path}", file=sys.stderr)
+    if args.json:
+        return json.dumps(payload, sort_keys=True, indent=2)
+    return render_bench(payload)
 
 
 def _faults_plan(args: argparse.Namespace) -> "FaultPlan":
@@ -979,6 +1052,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
     "faults": _cmd_faults,
     "workload": _cmd_workload,
 }

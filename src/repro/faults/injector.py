@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import CrashError, MediaError
+from ..obs.spans import NULL_SPANS, SpanRecorder
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .plan import FaultPlan
 
@@ -40,17 +41,20 @@ from .plan import FaultPlan
 class FaultInjector:
     """Seeded executor of one :class:`~repro.faults.plan.FaultPlan`."""
 
-    __slots__ = ("armed", "plan", "telemetry", "rng", "crash_fired",
+    __slots__ = ("armed", "plan", "telemetry", "spans", "rng", "crash_fired",
                  "crash_trigger", "disk_writes", "log_flushes",
                  "io_errors", "io_retries", "io_exhausted",
                  "latency_spikes", "torn_segments", "backoff_time",
                  "_outstanding")
 
     def __init__(self, plan: Optional[FaultPlan] = None, *,
-                 telemetry: Telemetry = NULL_TELEMETRY) -> None:
+                 telemetry: Telemetry = NULL_TELEMETRY,
+                 spans: SpanRecorder = NULL_SPANS) -> None:
         self.plan = plan
         self.armed = plan is not None
         self.telemetry = telemetry
+        #: span recorder (retry backoff windows); carries its own clock
+        self.spans = spans
         self.rng = (np.random.default_rng(plan.seed)
                     if plan is not None else None)
         #: whether a crash trigger already fired this run
@@ -161,6 +165,12 @@ class FaultInjector:
                 backoff = io.backoff_delay(failures - 1)
                 self.io_retries += 1
                 self.backoff_time += backoff
+                if self.spans.enabled:
+                    # The backoff window opens after whatever delay this
+                    # request has already accumulated (spikes, earlier
+                    # retries); the recorder's clock is the submit time.
+                    self.spans.emit("fault.backoff", self.spans.now + delay,
+                                    backoff, disk=disk_name, attempt=failures)
                 delay += backoff
                 extra_busy += service  # the aborted transfer's disk time
                 if telemetry.enabled:

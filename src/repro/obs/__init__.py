@@ -12,11 +12,23 @@ and transaction processing; this subsystem is the measuring equipment.
   final metrics snapshot, round-tripping bit-identically;
 * :mod:`repro.obs.report` -- quantile tables, checkpoint phase timings,
   abort taxonomy, timeline sparklines (the ``repro metrics`` output);
+* :mod:`repro.obs.spans` -- begin/end spans with parent links: per-
+  transaction and per-checkpoint timed windows with causal structure
+  (and the Chrome-trace exporter for Perfetto);
+* :mod:`repro.obs.attribution` -- the stall-attribution pass joining
+  transaction spans against overlapping checkpoint spans (the
+  ``repro trace --attribution`` output);
 * :mod:`repro.obs.presets` -- named scenarios for the CLI and CI.
 
 See ``docs/OBSERVABILITY.md`` for the metric catalog and event schema.
 """
 
+from .attribution import (
+    attribute_stalls,
+    decompose_quantiles,
+    latency_timeline,
+    render_attribution,
+)
 from .export import RunRecord, export_run, export_system_run, load_run
 from .metrics import (
     Counter,
@@ -26,6 +38,7 @@ from .metrics import (
     Timeline,
 )
 from .report import render_merged_sweep_telemetry, render_metrics_report
+from .spans import NULL_SPANS, SpanRecorder, chrome_trace
 from .telemetry import NULL_TELEMETRY, Telemetry
 
 # NOTE: repro.obs.presets is deliberately NOT imported here -- it needs
@@ -39,13 +52,20 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_SPANS",
     "NULL_TELEMETRY",
     "RunRecord",
+    "SpanRecorder",
     "Telemetry",
     "Timeline",
+    "attribute_stalls",
+    "chrome_trace",
+    "decompose_quantiles",
     "export_run",
     "export_system_run",
+    "latency_timeline",
     "load_run",
+    "render_attribution",
     "render_merged_sweep_telemetry",
     "render_metrics_report",
 ]

@@ -8,10 +8,13 @@ The export format is line-oriented JSON with three line shapes:
   "fields": {...}}``, exactly what :meth:`repro.sim.trace.Tracer.
   write_jsonl` emits;
 * a **metrics** footer -- ``{"type": "metrics", "summary": {...},
-  "telemetry": {...}, "checkpoints": [...]}`` holding the final
-  :class:`~repro.sim.system.SimulationMetrics` dict, the
-  :class:`~repro.obs.metrics.MetricsRegistry` snapshot, and the
-  per-checkpoint phase history.
+  "telemetry": {...}, "checkpoints": [...], "spans": [...]}`` holding
+  the final :class:`~repro.sim.system.SimulationMetrics` dict, the
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot, the
+  per-checkpoint phase history, and -- for a span-recorded run -- the
+  :meth:`~repro.obs.spans.SpanRecorder.snapshot` span list (``null``
+  when spans were off, so the absence is distinguishable from an
+  empty trace).
 
 Every value is a plain JSON scalar/dict/list, so a file written by
 :func:`export_run` reloads with :func:`load_run` into exactly the
@@ -43,6 +46,7 @@ class RunRecord:
     summary: Optional[Dict[str, Any]] = None
     telemetry: Optional[Dict[str, Any]] = None
     checkpoints: List[Dict[str, Any]] = field(default_factory=list)
+    spans: Optional[List[Dict[str, Any]]] = None
 
 
 def export_run(
@@ -52,6 +56,7 @@ def export_run(
     summary: Optional[Dict[str, Any]] = None,
     telemetry: Optional[Dict[str, Any]] = None,
     checkpoints: Optional[List[Dict[str, Any]]] = None,
+    spans: Optional[List[Dict[str, Any]]] = None,
     meta: Optional[Dict[str, Any]] = None,
 ) -> int:
     """Write one run to ``path``; returns the number of lines written."""
@@ -67,6 +72,7 @@ def export_run(
             "summary": summary,
             "telemetry": telemetry,
             "checkpoints": checkpoints or [],
+            "spans": spans,
         }
         fp.write(json.dumps(footer, sort_keys=True) + "\n")
         lines += 1
@@ -82,6 +88,7 @@ def export_system_run(path: PathLike, system: "SimulatedSystem",
         summary=asdict(system.metrics()),
         telemetry=system.telemetry_snapshot(),
         checkpoints=[asdict(stats) for stats in system.checkpointer.history],
+        spans=system.spans_snapshot(),
         meta={
             "algorithm": system.config.algorithm,
             "seed": system.config.seed,
@@ -112,6 +119,7 @@ def load_run(path: PathLike, capacity: int = 1_000_000) -> RunRecord:
                 record.summary = data.get("summary")
                 record.telemetry = data.get("telemetry")
                 record.checkpoints = data.get("checkpoints") or []
+                record.spans = data.get("spans")
             else:
                 raise ConfigurationError(
                     f"{path}: unrecognised line in run export: {line[:80]!r}")

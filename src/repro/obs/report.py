@@ -14,6 +14,12 @@ from .metrics import Histogram, MetricsRegistry, Timeline
 
 QUANTILES: Tuple[float, ...] = (50.0, 90.0, 99.0)
 
+#: the tail quantiles of the dedicated latency section
+LATENCY_QUANTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+#: wait-time histograms that are latencies but don't carry the suffix
+_LATENCY_EXTRAS: Tuple[str, ...] = ("txn.lock_wait.time", "ckpt.wal_wait")
+
 #: Timeline sparkline glyphs, lowest to highest utilisation.
 _SPARK = " .:-=+*#%@"
 
@@ -53,6 +59,33 @@ def render_quantile_table(histograms: Dict[str, Any],
         return f"{title}\n  (no samples)"
     headers = ["metric", "count", "mean"] + [f"p{int(q)}" for q in QUANTILES] \
         + ["max"]
+    return text_table(headers, rows, title=title)
+
+
+def render_latency_section(histograms: Dict[str, Any],
+                           title: str = "latency tails (seconds)") -> str:
+    """p50/p95/p99 for every latency histogram the run recorded.
+
+    ``wal.flush.latency`` and ``txn.commit.latency``/
+    ``txn.abort.latency`` are always recorded by an instrumented run
+    but the generic quantile table only shows p50/p90/p99 alongside
+    size distributions; this section isolates the latencies at the
+    tail quantiles the checkpointing literature reports.
+    """
+    rows: List[Sequence[object]] = []
+    for name in sorted(histograms):
+        if not (name.endswith(".latency") or name in _LATENCY_EXTRAS):
+            continue
+        hist = Histogram.from_dict(histograms[name])
+        if hist.count == 0:
+            continue
+        quantiles = hist.quantiles(LATENCY_QUANTILES)
+        rows.append([name, hist.count, _fmt(hist.mean)]
+                    + [_fmt(q) for q in quantiles] + [_fmt(hist.max)])
+    if not rows:
+        return f"{title}\n  (no latency samples)"
+    headers = (["metric", "count", "mean"]
+               + [f"p{int(q)}" for q in LATENCY_QUANTILES] + ["max"])
     return text_table(headers, rows, title=title)
 
 
@@ -195,6 +228,7 @@ def render_metrics_report(
         blocks.append(render_offered_vs_served(
             summary, registry.get("counters", {})))
     blocks.append(render_quantile_table(registry.get("histograms", {})))
+    blocks.append(render_latency_section(registry.get("histograms", {})))
     blocks.append(render_checkpoint_phases(checkpoints or []))
     blocks.append(render_abort_taxonomy(summary,
                                         registry.get("counters", {})))

@@ -44,6 +44,7 @@ from ..faults.injector import NULL_INJECTOR, FaultInjector
 from ..mmdb.database import Database
 from ..mmdb.locks import LockManager
 from ..model.duration import minimum_duration
+from ..obs.spans import NULL_SPANS, SpanRecorder
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..storage.array import DiskArray
 from ..storage.backends import create_backend_factory
@@ -76,6 +77,7 @@ class SystemComponents:
     ledger: Any
     database: Any
     telemetry: Any
+    spans: Any
     faults: Any
     log: Any
     locks: Any
@@ -153,15 +155,21 @@ class SystemBuilder:
         return (Telemetry(enabled=True) if self.config.telemetry
                 else NULL_TELEMETRY)
 
+    def build_spans(self) -> SpanRecorder:
+        if not self.config.spans:
+            return NULL_SPANS
+        return SpanRecorder(enabled=True, clock=self.engine)
+
     def build_faults(self) -> FaultInjector:
         if self.config.fault_plan is None:
             return NULL_INJECTOR
         return FaultInjector(self.config.fault_plan,
-                             telemetry=self.telemetry)
+                             telemetry=self.telemetry,
+                             spans=self.spans)
 
     def build_log(self) -> LogManager:
         return LogManager(self.params, telemetry=self.telemetry,
-                          faults=self.faults)
+                          faults=self.faults, spans=self.spans)
 
     def build_locks(self) -> LockManager:
         return LockManager()
@@ -209,6 +217,8 @@ class SystemBuilder:
             flush_on_commit=config.log_flush_on_commit,
             cpu_server=self.cpu,
             telemetry=self.telemetry,
+            spans=self.spans,
+            response_reservoir=config.response_reservoir,
         )
 
     def build_checkpointer(self) -> Any:
@@ -222,6 +232,7 @@ class SystemBuilder:
             truncate_log=config.truncate_log,
             telemetry=self.telemetry,
             faults=self.faults,
+            spans=self.spans,
         )
         return checkpointer
 
@@ -268,6 +279,7 @@ class SystemBuilder:
             ("ledger", self.build_ledger),
             ("database", self.build_database),
             ("telemetry", self.build_telemetry),
+            ("spans", self.build_spans),
             ("faults", self.build_faults),
             ("log", self.build_log),
             ("locks", self.build_locks),
@@ -287,7 +299,8 @@ class SystemBuilder:
             engine=self.engine, streams=self.streams,
             authority=self.authority, ledger=self.ledger,
             database=self.database, telemetry=self.telemetry,
-            faults=self.faults, log=self.log, locks=self.locks,
+            spans=self.spans, faults=self.faults,
+            log=self.log, locks=self.locks,
             array=self.array, backup=self.backup, oracle=self.oracle,
             cpu=self.cpu, txn_manager=self.txn_manager,
             checkpointer=self.checkpointer, scheduler=self.scheduler,

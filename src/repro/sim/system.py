@@ -79,6 +79,18 @@ class SimulationConfig:
     #: one predicate per instrumented event.  Telemetry never feeds back
     #: into the simulation, so results are identical either way.
     telemetry: bool = False
+    #: record begin/end spans with parent links (transaction lifecycle,
+    #: checkpoint phases, WAL flushes, fault backoffs) into
+    #: ``system.spans`` -- the :mod:`repro.obs.spans` layer feeding
+    #: stall attribution and the Chrome-trace export.  Same contract as
+    #: ``telemetry``: off by default, one predicate per site when
+    #: disabled, and never feeds back into the simulation.
+    spans: bool = False
+    #: cap on retained per-commit response-time samples.  Percentiles
+    #: stay exact while a run commits fewer transactions than this;
+    #: beyond it the sample degrades gracefully to a uniform reservoir
+    #: (see :class:`repro.txn.manager.TransactionStats`).
+    response_reservoir: int = 65536
     #: logical (transition) logging: transactions increment records and
     #: log deltas.  Recovery is only sound over a snapshot-exact backup
     #: (copy-on-update checkpoints); see tests/test_logical_logging.
@@ -173,6 +185,7 @@ class SimulatedSystem:
         self.ledger = components.ledger
         self.database = components.database
         self.telemetry = components.telemetry
+        self.spans = components.spans
         self.faults = components.faults
         self.log = components.log
         self.locks = components.locks
@@ -300,11 +313,10 @@ class SimulatedSystem:
         disk statistics restart; the database, log, backups, and all
         in-flight activity continue untouched.
         """
-        from ..txn.manager import TransactionStats
         if self.cpu is not None:
             self.cpu.reset_stats()
         self.ledger.reset()
-        self.txn_manager.stats = TransactionStats()
+        self.txn_manager.stats = self.txn_manager.new_stats()
         self.checkpointer.history.clear()
         self.array.reset()
         self._run_started_at = self.engine.now
@@ -409,6 +421,12 @@ class SimulatedSystem:
         if not self.telemetry.enabled:
             return None
         return self.telemetry.snapshot()
+
+    def spans_snapshot(self) -> Optional[List[Dict]]:
+        """The run's spans as plain-JSON dicts (None when disabled)."""
+        if not self.spans.enabled:
+            return None
+        return self.spans.snapshot()
 
     def metrics(self) -> SimulationMetrics:
         stats = self.txn_manager.stats

@@ -32,14 +32,16 @@ Aborted attempts append their REDO records plus an abort record
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Any, Callable, Dict, List, Optional, Protocol
 
 import numpy as np
 
 from ..cpu.accounting import CostCategory, CostLedger
 from ..errors import TransactionAborted
 from ..mmdb.database import Database
+from ..obs.spans import NULL_SPANS, SpanRecorder
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..mmdb.locks import LockManager, LockMode
 from ..mmdb.segment import Segment
@@ -74,6 +76,13 @@ class _NullCoordinator:
         return None
 
 
+#: default cap on retained per-commit response times (satellite of the
+#: unbounded-growth fix): every run the repo ships stays far under it,
+#: so percentiles remain exact there; beyond it the list becomes a
+#: uniform reservoir sample (Vitter's algorithm R) of bounded memory.
+DEFAULT_RESPONSE_RESERVOIR = 65536
+
+
 @dataclass
 class TransactionStats:
     """Counters the simulator reports per run."""
@@ -86,8 +95,20 @@ class TransactionStats:
     lock_waits: int = 0
     quiesce_delays: int = 0
     total_response_time: float = 0.0
-    #: per-commit response times (arrival to commit), for percentiles
+    #: per-commit response times (arrival to commit), for percentiles.
+    #: Bounded: at most ``reservoir_limit`` samples are retained; under
+    #: the cap the list is exhaustive and percentiles are exact.
     response_times: List[float] = field(default_factory=list)
+    #: cap on ``response_times``; beyond it commits are reservoir-sampled
+    reservoir_limit: int = DEFAULT_RESPONSE_RESERVOIR
+    #: total commits offered to the reservoir (>= len(response_times))
+    response_samples: int = 0
+    #: private reservoir RNG, created lazily at the first replacement so
+    #: runs under the cap never construct (or draw from) it.  Seeded
+    #: constantly and never shared with the simulation streams, so
+    #: sampling is deterministic and feeds nothing back.
+    _reservoir_rng: Optional[Any] = field(default=None, repr=False,
+                                          compare=False)
 
     def record_abort(self, reason: str) -> None:
         self.aborts[reason] = self.aborts.get(reason, 0) + 1
@@ -95,7 +116,15 @@ class TransactionStats:
     def record_commit(self, response_time: float) -> None:
         self.committed += 1
         self.total_response_time += response_time
-        self.response_times.append(response_time)
+        self.response_samples += 1
+        if len(self.response_times) < self.reservoir_limit:
+            self.response_times.append(response_time)
+            return
+        if self._reservoir_rng is None:
+            self._reservoir_rng = random.Random(0x5EED)
+        slot = self._reservoir_rng.randrange(self.response_samples)
+        if slot < self.reservoir_limit:
+            self.response_times[slot] = response_time
 
     @property
     def total_aborts(self) -> int:
@@ -108,7 +137,11 @@ class TransactionStats:
         return self.total_response_time / self.committed
 
     def response_percentile(self, q: float) -> float:
-        """The ``q``-th percentile of commit response times (seconds)."""
+        """The ``q``-th percentile of commit response times (seconds).
+
+        Exact while the run stays under ``reservoir_limit`` commits;
+        estimated from the uniform reservoir sample beyond it.
+        """
         if not self.response_times:
             return 0.0
         ordered = sorted(self.response_times)
@@ -138,6 +171,8 @@ class TransactionManager:
         flush_on_commit: bool = False,
         cpu_server: Optional[CpuServer] = None,
         telemetry: Telemetry = NULL_TELEMETRY,
+        spans: SpanRecorder = NULL_SPANS,
+        response_reservoir: int = DEFAULT_RESPONSE_RESERVOIR,
     ) -> None:
         self.database = database
         self.log = log
@@ -160,8 +195,12 @@ class TransactionManager:
         #: times grow with CPU utilisation (None = infinitely fast CPU)
         self.cpu_server = cpu_server
         self.telemetry = telemetry
+        #: span recorder (lifecycle windows); :data:`NULL_SPANS` = off
+        self.spans = spans
+        #: cap on retained response-time samples (see TransactionStats)
+        self.response_reservoir = response_reservoir
         self.coordinator: CheckpointCoordinator = _NullCoordinator()
-        self.stats = TransactionStats()
+        self.stats = self.new_stats()
         #: optional observers (the simulator wires these to its tracer)
         self.on_commit: Optional[Callable[[Transaction], None]] = None
         self.on_abort: Optional[Callable[[Transaction, str], None]] = None
@@ -172,6 +211,14 @@ class TransactionManager:
         self._committed_log: List[Transaction] = []
         #: transactions waiting on a lock (the "active" set for markers)
         self._waiting: Dict[int, Transaction] = {}
+        #: open root span per in-flight transaction (spans enabled only)
+        self._txn_spans: Dict[int, int] = {}
+        #: open quiesce-queue span per queued transaction
+        self._quiesce_spans: Dict[int, int] = {}
+
+    def new_stats(self) -> TransactionStats:
+        """A fresh stats record honouring this manager's reservoir cap."""
+        return TransactionStats(reservoir_limit=self.response_reservoir)
 
     # -- checkpointer wiring -------------------------------------------------
     def set_coordinator(self, coordinator: Optional[CheckpointCoordinator]) -> None:
@@ -197,6 +244,11 @@ class TransactionManager:
         self._quiesced = False
         served, self._quiesce_queue_served = self._quiesce_queue_served, []
         queued, self._quiesce_queue = self._quiesce_queue, []
+        if self.spans.enabled:
+            for txn in served:
+                self.spans.end(self._quiesce_spans.pop(txn.txn_id, -1))
+            for txn in queued:
+                self.spans.end(self._quiesce_spans.pop(txn.txn_id, -1))
         for txn in served:
             self.submit_after_cpu(txn)  # CPU already consumed
         for txn in queued:
@@ -221,17 +273,37 @@ class TransactionManager:
         at that point: an attempt whose service straddles a COU
         checkpoint begin behaves exactly like one that arrived after it.
         """
+        if self.spans.enabled and txn.txn_id not in self._txn_spans:
+            self._txn_spans[txn.txn_id] = self.spans.begin(
+                "txn", txn_id=txn.txn_id)
         if self._quiesced:
             self._quiesce_queue.append(txn)
             self.stats.quiesce_delays += 1
             if self.telemetry.enabled:
                 self.telemetry.registry.count("txn.quiesce_delays")
+            if self.spans.enabled:
+                self._quiesce_spans[txn.txn_id] = self.spans.begin(
+                    "txn.quiesce",
+                    parent=self._txn_spans.get(txn.txn_id, -1),
+                    txn_id=txn.txn_id)
             return
         if self.cpu_server is None:
             self._execute(txn)
             return
+        if self.spans.enabled:
+            cpu_span = self.spans.begin(
+                "txn.cpu", parent=self._txn_spans.get(txn.txn_id, -1),
+                txn_id=txn.txn_id)
+            self.cpu_server.submit(self.ledger.costs.c_trans,
+                                   lambda: self._cpu_served(txn, cpu_span))
+            return
         self.cpu_server.submit(self.ledger.costs.c_trans,
                                lambda: self.submit_after_cpu(txn))
+
+    def _cpu_served(self, txn: Transaction, cpu_span: int) -> None:
+        """CPU continuation when spans are on: close the window first."""
+        self.spans.end(cpu_span)
+        self.submit_after_cpu(txn)
 
     def submit_after_cpu(self, txn: Transaction) -> None:
         """Continuation once the attempt's CPU service completes."""
@@ -240,6 +312,11 @@ class TransactionManager:
             self.stats.quiesce_delays += 1
             if self.telemetry.enabled:
                 self.telemetry.registry.count("txn.quiesce_delays")
+            if self.spans.enabled:
+                self._quiesce_spans[txn.txn_id] = self.spans.begin(
+                    "txn.quiesce",
+                    parent=self._txn_spans.get(txn.txn_id, -1),
+                    txn_id=txn.txn_id, served=True)
             return
         self._execute(txn)
 
@@ -311,6 +388,10 @@ class TransactionManager:
         waited_from = self.engine.now if self.telemetry.enabled else 0.0
         if self.telemetry.enabled:
             self.telemetry.registry.count("txn.lock_waits")
+        lock_span = (self.spans.begin(
+            "txn.lock_wait", parent=self._txn_spans.get(txn.txn_id, -1),
+            txn_id=txn.txn_id, segment=segment_index)
+            if self.spans.enabled else -1)
 
         def granted() -> None:
             # We only queued to learn when the blocker releases; give the
@@ -319,6 +400,8 @@ class TransactionManager:
             if self.telemetry.enabled:
                 self.telemetry.registry.observe(
                     "txn.lock_wait.time", self.engine.now - waited_from)
+            if lock_span >= 0:
+                self.spans.end(lock_span)
             self.locks.release(segment_index, txn.txn_id)
             self._waiting.pop(txn.txn_id, None)
             txn.restamp(self.authority.next())
@@ -355,6 +438,9 @@ class TransactionManager:
             registry.count("txn.commits")
             registry.observe("txn.commit.latency", now - txn.arrival_time)
             registry.observe("txn.commit.attempts", txn.attempts)
+        if self.spans.enabled:
+            self.spans.end(self._txn_spans.pop(txn.txn_id, -1),
+                           outcome="commit", attempts=txn.attempts)
         self._committed_log.append(txn)
         if self.flush_on_commit:
             result = self.log.flush()
@@ -380,9 +466,18 @@ class TransactionManager:
         if txn.attempts >= self.max_attempts:
             txn.state = TransactionState.FAILED
             self.stats.failed += 1
+            if self.spans.enabled:
+                self.spans.end(self._txn_spans.pop(txn.txn_id, -1),
+                               outcome="failed", attempts=txn.attempts,
+                               reason=abort.reason)
             return
+        delay = self._rerun_delay()
+        if self.spans.enabled:
+            self.spans.emit("txn.backoff", self.engine.now, delay,
+                            parent=self._txn_spans.get(txn.txn_id, -1),
+                            txn_id=txn.txn_id, reason=abort.reason)
         self.engine.schedule_after(
-            self._rerun_delay(), lambda: self.submit(txn),
+            delay, lambda: self.submit(txn),
             label=f"rerun txn {txn.txn_id}",
         )
 
@@ -424,6 +519,10 @@ class TransactionManager:
         self._quiesce_queue.clear()
         self._quiesce_queue_served.clear()
         self._waiting.clear()
+        # Open txn/quiesce spans die with the machine: drop the handles
+        # and let the snapshot clamp the abandoned windows.
+        self._txn_spans.clear()
+        self._quiesce_spans.clear()
         if self.cpu_server is not None:
             self.cpu_server.crash()
 

@@ -26,6 +26,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import InvalidStateError, WALViolation
 from ..faults.injector import NULL_INJECTOR, FaultInjector
+from ..obs.spans import NULL_SPANS, SpanRecorder
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..params import SystemParameters
 from .lsn import LSNAllocator
@@ -58,11 +59,15 @@ class LogManager:
 
     def __init__(self, params: SystemParameters, *,
                  telemetry: Telemetry = NULL_TELEMETRY,
-                 faults: FaultInjector = NULL_INJECTOR) -> None:
+                 faults: FaultInjector = NULL_INJECTOR,
+                 spans: SpanRecorder = NULL_SPANS) -> None:
         self.params = params
         self.telemetry = telemetry
         #: fault-injection handle (lost-tail crash at the N-th flush)
         self.faults = faults
+        #: span recorder (group-flush events); the recorder carries the
+        #: clock, since the log itself holds no engine reference
+        self.spans = spans
         self.stable_tail = params.stable_log_tail
         self._allocator = LSNAllocator()
         self._tail: List[LogRecord] = []
@@ -209,6 +214,13 @@ class LogManager:
                 registry.observe("wal.flush.latency",
                                  self.params.t_seek
                                  + self.params.t_trans * words)
+            if self.spans.enabled:
+                # A point event: the flush is atomic in simulated time;
+                # its modelled disk latency rides along as a field.
+                self.spans.emit(
+                    "wal.flush", self.spans.now, 0.0,
+                    records=count, words=words,
+                    latency=self.params.t_seek + self.params.t_trans * words)
             self._stable.extend(self._tail)
             self._newly_stable.extend(self._tail)
             self._stable_lsn = self._tail[-1].lsn

@@ -210,6 +210,14 @@ def test_fixed_seed_metrics_identical_with_telemetry_on_and_off():
     assert instrumented.telemetry is not None
     assert instrumented.telemetry["counters"]["txn.commits"] == \
         instrumented.metrics.transactions_committed
+    # Spans obey the same invariant: recording them (alone or alongside
+    # telemetry) must not perturb the fixed-seed run.
+    spanned = repro.simulate(**kwargs, spans=True)
+    both = repro.simulate(**kwargs, telemetry=True, spans=True)
+    assert asdict(spanned.metrics) == asdict(plain.metrics)
+    assert asdict(both.metrics) == asdict(plain.metrics)
+    assert plain.spans is None
+    assert spanned.spans and both.spans == spanned.spans
 
 
 # ----------------------------------------------------------------------
