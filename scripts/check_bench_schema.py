@@ -4,17 +4,25 @@
 Stdlib-only (the validator is the subset checker from
 ``check_metrics_schema.py``)::
 
-    python scripts/check_bench_schema.py BENCH_7.json
-    python scripts/check_bench_schema.py SCHEMA.json BENCH_7.json
+    python scripts/check_bench_schema.py BENCH_8.json
+    python scripts/check_bench_schema.py SCHEMA.json BENCH_8.json
+    python scripts/check_bench_schema.py BENCH_8.json --against BENCH_7.json
 
-With one argument the repo's checked-in schema is used.  Beyond the
-structural check, the measured rates themselves are sanity-checked:
-every ``*_per_second`` rate must be positive and recovery must have
-been oracle-verified -- a bench point claiming zero throughput or an
-unverified recovery is a broken measurement, not a slow machine.
+With one positional argument the repo's checked-in schema is used.
+Beyond the structural check, the measured rates themselves are
+sanity-checked: every ``*_per_second`` rate must be positive and
+recovery must have been oracle-verified -- a bench point claiming zero
+throughput or an unverified recovery is a broken measurement, not a
+slow machine.
 
-Exit code 0 means valid; 1 means invalid (every violation is listed);
-2 means the inputs themselves could not be read.
+``--against BASELINE.json`` additionally diffs the document's rates
+against a prior trajectory point with
+:func:`repro.bench.compare_bench` (``--tolerance`` overrides the
+allowed fractional drop), so one invocation both validates a fresh
+``BENCH_<n>.json`` and gates it on its predecessor.
+
+Exit code 0 means valid; 1 means invalid (every violation is listed)
+or regressed; 2 means the inputs themselves could not be read.
 """
 
 from __future__ import annotations
@@ -61,16 +69,32 @@ def check_rates(payload: Any) -> List[str]:
 
 
 def main(argv: List[str]) -> int:
-    if len(argv) == 2:
-        schema_path, document_path = SCHEMA_PATH, argv[1]
-    elif len(argv) == 3:
-        schema_path, document_path = argv[1], argv[2]
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog=os.path.basename(argv[0]),
+        description="validate (and optionally baseline-gate) a "
+                    "BENCH_*.json payload")
+    parser.add_argument("paths", nargs="+", metavar="[SCHEMA.json] BENCH.json",
+                        help="the document, optionally preceded by an "
+                             "alternative schema")
+    parser.add_argument("--against", default=None, metavar="BASELINE.json",
+                        help="also compare rates against a prior bench "
+                             "point (exit 1 on regression)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        metavar="FRAC",
+                        help="allowed fractional rate drop for --against "
+                             "(default: repro.bench's 0.30)")
+    args = parser.parse_args(argv[1:])
+    if len(args.paths) == 1:
+        schema_path, document_path = SCHEMA_PATH, args.paths[0]
+    elif len(args.paths) == 2:
+        schema_path, document_path = args.paths
     else:
-        print(f"usage: {argv[0]} [SCHEMA.json] BENCH.json", file=sys.stderr)
-        return 2
+        parser.error("expected [SCHEMA.json] BENCH.json")
     try:
         schema = _load(schema_path)
         document = _load(document_path)
+        baseline = _load(args.against) if args.against else None
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error reading inputs: {exc}", file=sys.stderr)
         return 2
@@ -82,6 +106,16 @@ def main(argv: List[str]) -> int:
             print(f"  {error}", file=sys.stderr)
         return 1
     print(f"{document_path} satisfies {schema_path}")
+    if baseline is not None:
+        sys.path.insert(0, os.path.join(_REPO, "src"))
+        from repro.bench import DEFAULT_COMPARE_TOLERANCE, compare_bench
+        tolerance = (DEFAULT_COMPARE_TOLERANCE if args.tolerance is None
+                     else args.tolerance)
+        report, regressions = compare_bench(baseline, document,
+                                            tolerance=tolerance)
+        print(report)
+        if regressions:
+            return 1
     return 0
 
 

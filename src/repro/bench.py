@@ -49,7 +49,22 @@ BENCH_SCHEMA_VERSION = 1
 #: the PR ordinal this tree's ``repro bench`` stamps by default; the
 #: next perf-touching PR bumps it and commits a fresh ``BENCH_<n>.json``
 #: beside the old ones -- that growing series *is* the trajectory.
-CURRENT_PR = 7
+CURRENT_PR = 8
+
+#: the rate metrics ``repro bench --compare`` gates on, as
+#: ``(results section, metric key)`` pairs -- all higher-is-better
+COMPARED_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("engine_events", "events_per_second"),
+    ("simulated_txns", "txns_per_second"),
+    ("simulated_txns", "events_per_second"),
+    ("recovery_replay", "replayed_per_second"),
+    ("sweep_wall_clock", "cells_per_second"),
+)
+
+#: default allowed wall-clock slowdown before ``--compare`` fails: CI
+#: runners are shared, so a tight gate would flake; a 30% drop on the
+#: *best-of* wall time is a real regression, not scheduler noise
+DEFAULT_COMPARE_TOLERANCE = 0.30
 
 #: full-fidelity workload sizes (the committed trajectory points)
 FULL = {
@@ -185,8 +200,16 @@ def bench_recovery_replay(duration: float = FULL["recovery_duration"],
 
 
 def bench_sweep_wall_clock(duration: float = FULL["sweep_duration"],
-                           repeats: int = FULL["repeats"]) -> Dict[str, Any]:
-    """Wall clock of a serial 4-cell sweep (the figure-driver shape)."""
+                           repeats: int = FULL["repeats"],
+                           workers: int = 1) -> Dict[str, Any]:
+    """Wall clock of a 4-cell sweep (the figure-driver shape).
+
+    ``workers > 1`` exercises the process-pool path of
+    :class:`~repro.sweep.SweepRunner` -- the committed trajectory points
+    stay serial (``workers=1``) so they remain comparable across PRs,
+    but ``repro bench --workers N`` lets the pool's scaling be measured
+    on any machine.
+    """
     from .api import simulate
     from .sweep import SweepRunner, SweepSpec
 
@@ -196,7 +219,7 @@ def bench_sweep_wall_clock(duration: float = FULL["sweep_duration"],
         spec = SweepSpec.from_grid(
             simulate, grid,
             fixed={"scale": 1024, "duration": duration, "seed": 7})
-        result = SweepRunner(workers=1, cache_dir=None).run(spec)
+        result = SweepRunner(workers=workers, cache_dir=None).run(spec)
         result.raise_failures()
         return len(result)
 
@@ -206,12 +229,14 @@ def bench_sweep_wall_clock(duration: float = FULL["sweep_duration"],
         "simulated_seconds_per_cell": duration,
         "wall_seconds": wall,
         "cells_per_second": cells / wall,
+        "workers": workers,
     }
 
 
 def run_harness(quick: bool = False,
                 pr: Optional[int] = None,
-                repeats: Optional[int] = None) -> Dict[str, Any]:
+                repeats: Optional[int] = None,
+                workers: int = 1) -> Dict[str, Any]:
     """The full measurement pass; returns the ``BENCH_*.json`` payload."""
     sizes = dict(QUICK if quick else FULL)
     if repeats is not None:
@@ -233,22 +258,91 @@ def run_harness(quick: bool = False,
             "recovery_replay": bench_recovery_replay(
                 sizes["recovery_duration"], sizes["repeats"]),
             "sweep_wall_clock": bench_sweep_wall_clock(
-                sizes["sweep_duration"], sizes["repeats"]),
+                sizes["sweep_duration"], sizes["repeats"], workers),
         },
     }
+
+
+def compare_bench(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: float = DEFAULT_COMPARE_TOLERANCE,
+) -> Tuple[str, list]:
+    """Per-metric deltas of ``current`` against ``baseline``.
+
+    Returns ``(report, regressions)``: a human-readable table of every
+    metric in :data:`COMPARED_METRICS`, and the list of regression
+    descriptions -- metrics whose rate fell more than ``tolerance``
+    (fractional, e.g. ``0.30`` = 30%) below the baseline.  An empty
+    ``regressions`` list is the gate passing.  Metrics absent from
+    either payload are reported but never counted as regressions, so
+    older baselines stay usable after additive schema growth.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance!r}")
+    base_results = baseline.get("results", {})
+    cur_results = current.get("results", {})
+    lines = [
+        f"bench compare: PR {current.get('pr', '?')} vs "
+        f"PR {baseline.get('pr', '?')} baseline "
+        f"(tolerance -{tolerance:.0%})"
+    ]
+    regressions = []
+    for section, key in COMPARED_METRICS:
+        name = f"{section}.{key}"
+        base = base_results.get(section, {}).get(key)
+        cur = cur_results.get(section, {}).get(key)
+        if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+            lines.append(f"  {name:<40} (missing; skipped)")
+            continue
+        if base > 0:
+            delta = (cur - base) / base
+            verdict = "REGRESSION" if delta < -tolerance else "ok"
+            lines.append(
+                f"  {name:<40} {base:>14,.0f} -> {cur:>14,.0f}  "
+                f"{delta:+.1%}  {verdict}")
+            if delta < -tolerance:
+                regressions.append(
+                    f"{name}: {base:,.0f} -> {cur:,.0f} ({delta:+.1%}, "
+                    f"allowed -{tolerance:.0%})")
+        else:
+            lines.append(f"  {name:<40} baseline rate is 0; skipped")
+    lines.append(
+        "  PASS: no metric regressed beyond tolerance" if not regressions
+        else f"  FAIL: {len(regressions)} metric(s) regressed")
+    return "\n".join(lines), regressions
 
 
 def write_bench(path: Optional[str] = None,
                 *,
                 quick: bool = False,
                 pr: Optional[int] = None,
-                repeats: Optional[int] = None) -> Tuple[str, Dict[str, Any]]:
+                repeats: Optional[int] = None,
+                workers: int = 1,
+                profile: Optional[str] = None) -> Tuple[str, Dict[str, Any]]:
     """Run the harness and write ``BENCH_<pr>.json``; returns (path, payload).
 
     ``path=None`` writes ``BENCH_<pr>.json`` in the current directory --
-    the repo root in the committed-trajectory workflow.
+    the repo root in the committed-trajectory workflow.  ``profile``
+    additionally runs the whole measurement pass under :mod:`cProfile`
+    and dumps binary pstats there (load with ``pstats.Stats(path)`` or
+    ``snakeviz``); the profiled wall times are *not* comparable to
+    unprofiled trajectory points, so profile runs should not be
+    committed as ``BENCH_<n>.json``.
     """
-    payload = run_harness(quick=quick, pr=pr, repeats=repeats)
+    if profile is not None:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            payload = run_harness(quick=quick, pr=pr, repeats=repeats,
+                                  workers=workers)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(profile)
+    else:
+        payload = run_harness(quick=quick, pr=pr, repeats=repeats,
+                              workers=workers)
     if path is None:
         path = f"BENCH_{payload['pr']}.json"
     with open(path, "w", encoding="utf-8") as fp:
@@ -291,9 +385,25 @@ def main(argv: Optional[list] = None) -> int:  # pragma: no cover - thin
     parser.add_argument("--out", default=None)
     parser.add_argument("--pr", type=int, default=None)
     parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--profile", default=None, metavar="PATH")
+    parser.add_argument("--compare", default=None, metavar="BASELINE.json")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_COMPARE_TOLERANCE)
     args = parser.parse_args(argv)
     path, payload = write_bench(args.out, quick=args.quick, pr=args.pr,
-                                repeats=args.repeats)
+                                repeats=args.repeats, workers=args.workers,
+                                profile=args.profile)
     print(render_bench(payload))
     print(f"bench written to {path}", file=sys.stderr)
+    if args.profile:
+        print(f"profile written to {args.profile}", file=sys.stderr)
+    if args.compare:
+        with open(args.compare, encoding="utf-8") as fp:
+            baseline = json.load(fp)
+        report, regressions = compare_bench(baseline, payload,
+                                            tolerance=args.tolerance)
+        print(report)
+        if regressions:
+            return 1
     return 0

@@ -31,13 +31,13 @@ class FuzzyCopyCheckpointer(BaseCheckpointer):
     transaction_consistent = False
 
     def _process_segment(self, run: CheckpointRun, index: int) -> None:
-        segment = self.database.segment(index)
+        table = self.database.table
         self._charge_scope_check()
-        if not self._image_needs(run, index, segment.timestamp):
+        if not self._image_needs(run, index, table.timestamp[index]):
             run.segments_skipped += 1
             return
         # No locks: the copy may straddle transaction boundaries (fuzzy).
-        self._flush_via_buffer(run, index, reflected_lsn=segment.lsn)
+        self._flush_via_buffer(run, index, reflected_lsn=int(table.lsn[index]))
 
 
 @register_checkpointer(category="paper")

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import ConfigurationError
-from ..sim.engine import Event, EventEngine
+from ..sim.engine import EventEngine, EventHandle
 from .base import BaseCheckpointer, CheckpointStats
 
 
@@ -62,7 +62,7 @@ class CheckpointScheduler:
         self.checkpointer = checkpointer
         self.engine = engine
         self.policy = policy
-        self._pending: Optional[Event] = None
+        self._pending: Optional[EventHandle] = None
         self._stopped = False
         checkpointer.on_complete = self._on_checkpoint_complete
 
@@ -75,7 +75,7 @@ class CheckpointScheduler:
         """Stop launching checkpoints (crash or end of measurement)."""
         self._stopped = True
         if self._pending is not None:
-            self._pending.cancel()
+            self.engine.cancel(self._pending)
             self._pending = None
 
     # ------------------------------------------------------------------

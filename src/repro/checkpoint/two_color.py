@@ -37,8 +37,7 @@ class _TwoColorBase(BaseCheckpointer):
     transaction_consistent = True
 
     def _begin(self, run: CheckpointRun) -> None:
-        for segment in self.database.segments:
-            segment.painted_black = False
+        self.database.table.clear_paint()
         self._write_begin_marker(run)
 
     # -- the two-color restriction -----------------------------------------
@@ -80,8 +79,7 @@ class _TwoColorBase(BaseCheckpointer):
 
     def crash(self) -> None:
         super().crash()
-        for segment in self.database.segments:
-            segment.painted_black = False
+        self.database.table.clear_paint()
 
 
 @register_checkpointer(category="paper")

@@ -288,6 +288,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", action="store_true",
                        help="print the payload instead of the summary "
                             "(the file is written either way)")
+    bench.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="sweep-stage process-pool size (committed "
+                            "trajectory points stay serial; >1 measures "
+                            "SweepRunner's pool scaling)")
+    bench.add_argument("--profile", default=None, metavar="PATH",
+                       help="also run the harness under cProfile and dump "
+                            "binary pstats to PATH (profiled walls are not "
+                            "trajectory-comparable)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE.json",
+                       help="diff every rate against a prior BENCH_<n>.json "
+                            "and exit nonzero if any fell more than the "
+                            "tolerance below it")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       metavar="FRAC",
+                       help="allowed fractional rate drop for --compare "
+                            "(default 0.30; CI-noise headroom)")
 
     flt = sub.add_parser(
         "faults",
@@ -783,13 +799,29 @@ def _cmd_trace(args: argparse.Namespace) -> str:
 
 
 def _cmd_bench(args: argparse.Namespace) -> str:
-    from .bench import render_bench, write_bench
+    from .bench import (DEFAULT_COMPARE_TOLERANCE, compare_bench,
+                        render_bench, write_bench)
     path, payload = write_bench(args.out, quick=args.quick, pr=args.pr,
-                                repeats=args.repeats)
+                                repeats=args.repeats, workers=args.workers,
+                                profile=args.profile)
     print(f"bench written to {path}", file=sys.stderr)
-    if args.json:
-        return json.dumps(payload, sort_keys=True, indent=2)
-    return render_bench(payload)
+    if args.profile:
+        print(f"profile written to {args.profile}", file=sys.stderr)
+    out = (json.dumps(payload, sort_keys=True, indent=2) if args.json
+           else render_bench(payload))
+    if args.compare:
+        with open(args.compare, encoding="utf-8") as fp:
+            baseline = json.load(fp)
+        tolerance = (DEFAULT_COMPARE_TOLERANCE if args.tolerance is None
+                     else args.tolerance)
+        report, regressions = compare_bench(baseline, payload,
+                                            tolerance=tolerance)
+        out = out + "\n" + report
+        if regressions:
+            # the regression gate: print everything, then fail the process
+            print(out)
+            raise SystemExit(1)
+    return out
 
 
 def _faults_plan(args: argparse.Namespace) -> "FaultPlan":

@@ -15,7 +15,6 @@ the analytic model's prediction.
 from __future__ import annotations
 
 import enum
-from collections import defaultdict
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
@@ -53,6 +52,15 @@ class CostCategory(enum.Enum):
     """Routine log maintenance (group flushes).  The paper's checkpoint
     overhead metric explicitly excludes logging costs, so this category is
     left out of :meth:`CostLedger.checkpoint_overhead_total`."""
+
+
+# The ledger buckets are flat lists indexed by this per-member slot: a
+# list index is one C-level load where hashing an enum member is a
+# Python-level __hash__ call, and charge() sits on the txn hot path.
+_CATEGORIES = tuple(CostCategory)
+for _slot, _category in enumerate(_CATEGORIES):
+    _category.slot = _slot
+del _slot, _category
 
 
 @dataclass(frozen=True)
@@ -96,10 +104,13 @@ class CostLedger:
     checkpoint interval; :meth:`overhead_per_transaction` computes it.
     """
 
+    __slots__ = ("costs", "_sync", "_async")
+
     def __init__(self, costs: OperationCosts) -> None:
         self.costs = costs
-        self._sync: defaultdict[CostCategory, float] = defaultdict(float)
-        self._async: defaultdict[CostCategory, float] = defaultdict(float)
+        # flat per-category accumulators indexed by CostCategory.slot
+        self._sync: list[float] = [0.0] * len(_CATEGORIES)
+        self._async: list[float] = [0.0] * len(_CATEGORIES)
 
     # -- raw charging ---------------------------------------------------
     def charge(
@@ -111,7 +122,7 @@ class CostLedger:
                 f"cannot charge negative instructions ({instructions!r})"
             )
         bucket = self._sync if synchronous else self._async
-        bucket[category] += instructions
+        bucket[category.slot] += instructions
 
     # -- basic-operation helpers (paper Table 2a) ------------------------
     def charge_lock(self, *, synchronous: bool, operations: int = 1) -> None:
@@ -145,6 +156,35 @@ class CostLedger:
                     self.costs.c_dirty_check * operations,
                     synchronous=synchronous)
 
+    def charge_segment_buffer(self, words: float, *,
+                              with_lsn_check: bool) -> None:
+        """One checkpointer buffer cycle: alloc + copy (+ LSN check).
+
+        The COPY-style per-segment hot path charges these three together
+        on every buffered segment; fusing them saves two dispatches per
+        segment without changing any bucket's total (asynchronous, like
+        all checkpoint sweep work).
+        """
+        costs = self.costs
+        bucket = self._async
+        bucket[CostCategory.ALLOC.slot] += costs.c_alloc
+        bucket[CostCategory.COPY.slot] += costs.per_word * words
+        if with_lsn_check:
+            bucket[CostCategory.LSN.slot] += costs.c_lsn
+
+    def charge_io_async(self) -> None:
+        """One asynchronous I/O initiation (checkpointer segment write).
+
+        Equivalent to ``charge_io(synchronous=False)`` with the dispatch
+        through :meth:`charge` skipped -- this fires once per segment
+        write during every checkpoint sweep.
+        """
+        self._async[CostCategory.IO.slot] += self.costs.c_io
+
+    def charge_alloc_async(self) -> None:
+        """One asynchronous buffer (de)allocation, dispatch-free."""
+        self._async[CostCategory.ALLOC.slot] += self.costs.c_alloc
+
     def charge_transaction_run(self, *, restart: bool = False) -> None:
         """Charge one execution of a transaction's own logic (``C_trans``).
 
@@ -153,32 +193,33 @@ class CostLedger:
         recorded under :attr:`CostCategory.RESTART`.
         """
         category = CostCategory.RESTART if restart else CostCategory.TRANSACTION
-        self.charge(category, self.costs.c_trans, synchronous=True)
+        # Direct bucket write: one charge per transaction execution makes
+        # this the hottest ledger entry point, and c_trans is never negative.
+        self._sync[category.slot] += self.costs.c_trans
 
     # -- totals ----------------------------------------------------------
     @property
     def synchronous_total(self) -> float:
-        return sum(self._sync.values())
+        return sum(self._sync)
 
     @property
     def asynchronous_total(self) -> float:
-        return sum(self._async.values())
+        return sum(self._async)
 
     @property
     def total(self) -> float:
         return self.synchronous_total + self.asynchronous_total
 
     def by_category(self, *, synchronous: bool | None = None) -> dict[CostCategory, float]:
-        """Return per-category totals; ``synchronous=None`` merges both."""
+        """Return totals for every charged category; ``None`` merges both."""
         if synchronous is True:
-            return dict(self._sync)
-        if synchronous is False:
-            return dict(self._async)
-        merged: dict[CostCategory, float] = {}
-        for bucket in (self._sync, self._async):
-            for category, value in bucket.items():
-                merged[category] = merged.get(category, 0.0) + value
-        return merged
+            values = self._sync
+        elif synchronous is False:
+            values = self._async
+        else:
+            values = [s + a for s, a in zip(self._sync, self._async)]
+        return {category: values[category.slot] for category in _CATEGORIES
+                if values[category.slot]}
 
     def checkpoint_overhead_total(self) -> float:
         """Total instructions attributable to checkpointing.
@@ -189,9 +230,9 @@ class CostLedger:
         creation and maintenance from the metric).
         """
         excluded = (
-            self._sync.get(CostCategory.TRANSACTION, 0.0)
-            + self._sync.get(CostCategory.LOGGING, 0.0)
-            + self._async.get(CostCategory.LOGGING, 0.0)
+            self._sync[CostCategory.TRANSACTION.slot]
+            + self._sync[CostCategory.LOGGING.slot]
+            + self._async[CostCategory.LOGGING.slot]
         )
         return self.total - excluded
 
@@ -207,14 +248,15 @@ class CostLedger:
     def snapshot(self) -> "LedgerSnapshot":
         """An immutable copy of the current totals (for deltas)."""
         return LedgerSnapshot(
-            sync=dict(self._sync),
-            async_=dict(self._async),
+            sync=self.by_category(synchronous=True),
+            async_=self.by_category(synchronous=False),
         )
 
     def reset(self) -> None:
         """Discard all recorded charges."""
-        self._sync.clear()
-        self._async.clear()
+        n = len(_CATEGORIES)
+        self._sync[:] = [0.0] * n
+        self._async[:] = [0.0] * n
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

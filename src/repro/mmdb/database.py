@@ -20,7 +20,7 @@ import numpy as np
 
 from ..errors import AddressError
 from ..params import SystemParameters
-from .segment import Segment
+from .segment import Segment, SegmentTable
 
 
 class Database:
@@ -32,12 +32,15 @@ class Database:
         self.n_segments = params.n_segments
         self.records_per_segment = params.records_per_segment
         self._values = np.zeros(self.n_records, dtype=np.int64)
+        #: struct-of-arrays metadata store; the Segment objects are views
+        self.table = SegmentTable(self.n_segments)
         self.segments = [
             Segment(
                 index=i,
                 first_record=i * self.records_per_segment,
                 n_records=self.records_per_segment,
                 values=self._values,
+                table=self.table,
             )
             for i in range(self.n_segments)
         ]
@@ -80,30 +83,34 @@ class Database:
         advances its timestamp tau(S) and its reflected LSN, and returns
         the segment (callers charge the lock/LSN costs).
         """
-        self._check_record(record_id)
-        segment = self.segment_of(record_id)
+        if not 0 <= record_id < self.n_records:
+            raise AddressError(
+                f"record {record_id} out of range [0, {self.n_records})"
+            )
+        index = record_id // self.records_per_segment
         self._values[record_id] = value
-        segment.dirty = True
-        if timestamp > segment.timestamp:
-            segment.timestamp = timestamp
-        if lsn > segment.lsn:
-            segment.lsn = lsn
-        return segment
+        table = self.table
+        table.dirty[index] = True
+        if timestamp > table.timestamp[index]:
+            table.timestamp[index] = timestamp
+        if lsn > table.lsn[index]:
+            table.lsn[index] = lsn
+        return self.segments[index]
 
     # -- bulk access for checkpointing / recovery -----------------------------
     def dirty_segments(self) -> Iterator[Segment]:
-        """Segments whose dirty bit is set, in segment order."""
-        return (segment for segment in self.segments if segment.dirty)
+        """Segments whose dirty bit is set, in segment order.
+
+        One vectorised mask scan; only the dirty segments' view objects
+        are touched.
+        """
+        segments = self.segments
+        return (segments[i] for i in self.table.dirty_indices())
 
     def wipe(self) -> None:
         """Simulate loss of volatile memory: zero values, reset metadata."""
         self._values[:] = 0
-        for segment in self.segments:
-            segment.dirty = False
-            segment.painted_black = False
-            segment.timestamp = 0.0
-            segment.lsn = 0
-            segment.drop_old_copy()
+        self.table.reset()
 
     # -- verification helpers --------------------------------------------------
     def values_snapshot(self) -> np.ndarray:

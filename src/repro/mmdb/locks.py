@@ -91,14 +91,68 @@ class LockManager:
     def try_acquire(self, segment_index: int, owner: Owner,
                     mode: LockMode) -> bool:
         """Acquire immediately if compatible and no one is queued ahead."""
-        lock = self._lock(segment_index)
-        if owner in lock.holders:
+        lock = self._locks.get(segment_index)
+        if lock is None:
+            lock = self._locks[segment_index] = _SegmentLock()
+        holders = lock.holders
+        if not holders:
+            # The common case by far: nobody holds it, nobody waits.
+            if lock.queue:
+                return False
+            holders[owner] = mode
+            self.acquisitions += 1
+            return True
+        if owner in holders:
             return self._upgrade(lock, segment_index, owner, mode)
         if lock.queue or not lock.grants_allowed(mode):
             return False
-        lock.holders[owner] = mode
+        holders[owner] = mode
         self.acquisitions += 1
         return True
+
+    def try_acquire_many(self, segment_indices, owner: Owner,
+                         mode: LockMode) -> Optional[int]:
+        """All-or-nothing immediate acquisition over several segments.
+
+        Returns None with every lock held on success; on the first
+        conflict every lock this call acquired is released and the
+        blocking segment's index is returned.  One call per transaction
+        commit replaces a Python-level loop of :meth:`try_acquire`.
+        """
+        locks = self._locks
+        acquired = []
+        append_acquired = acquired.append
+        for index in segment_indices:
+            lock = locks.get(index)
+            if lock is None:
+                lock = locks[index] = _SegmentLock()
+            holders = lock.holders
+            if not holders and not lock.queue:
+                # Uncontended: the overwhelmingly common case.
+                holders[owner] = mode
+                self.acquisitions += 1
+                append_acquired(index)
+                continue
+            if self.try_acquire(index, owner, mode):
+                append_acquired(index)
+                continue
+            for idx in acquired:
+                self.release(idx, owner)
+            return index
+        return None
+
+    def release_many(self, segment_indices, owner: Owner) -> None:
+        """Release ``owner``'s lock on each segment (FIFO grants apply)."""
+        locks = self._locks
+        for index in segment_indices:
+            lock = locks.get(index)
+            if lock is None or owner not in lock.holders:
+                raise LockError(
+                    f"owner {owner!r} does not hold a lock on segment {index}"
+                )
+            del lock.holders[owner]
+            if lock.queue:
+                self._grant_waiters(index, lock)
 
     def acquire_or_wait(self, segment_index: int, owner: Owner,
                         mode: LockMode,
@@ -137,12 +191,12 @@ class LockManager:
                 f"owner {owner!r} does not hold a lock on segment {segment_index}"
             )
         del lock.holders[owner]
-        self._grant_waiters(segment_index, lock)
-        # A grant callback may itself have released (and garbage-collected)
-        # this entry re-entrantly; only delete if it is still ours.
-        if (not lock.holders and not lock.queue
-                and self._locks.get(segment_index) is lock):
-            del self._locks[segment_index]
+        if lock.queue:
+            self._grant_waiters(segment_index, lock)
+        # The (now possibly empty) entry stays cached: segments are
+        # re-locked on every transaction commit, and rebuilding the
+        # holder dict and wait queue each time dominates the uncontended
+        # cost.  Empty entries read as unlocked everywhere.
 
     def downgrade(self, segment_index: int, owner: Owner) -> None:
         """Exclusive -> shared (COU Figure 3.3 re-locks shared to flush)."""

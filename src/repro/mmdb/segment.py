@@ -1,7 +1,9 @@
 """Segments: the unit of transfer between primary memory and backup disks.
 
-A :class:`Segment` owns a contiguous range of records and the per-segment
-metadata that the checkpoint algorithms of Section 3 manipulate:
+Per-segment checkpoint metadata lives in a :class:`SegmentTable` -- a
+struct-of-arrays store (one numpy array per field, indexed by segment
+id).  The fields are the ones the checkpoint algorithms of Section 3
+manipulate:
 
 * ``dirty`` -- set by transaction updates, cleared by the checkpointer;
   enables *partial* checkpoints (only dirty segments are flushed).
@@ -11,15 +13,22 @@ metadata that the checkpoint algorithms of Section 3 manipulate:
   update the segment (copy-on-update algorithms).
 * ``old_copy`` -- p(S), the pointer to a saved pre-checkpoint copy of the
   segment's data, created by the first transaction to update it after a
-  copy-on-update checkpoint began.
+  copy-on-update checkpoint began (sparse: held in a dict, since only a
+  handful of segments carry one at any instant).
 * ``old_copy_timestamp`` -- tau of the saved copy (the figure-3.3 test
   ``tau(OLD_SEG) > tau(OLDCH)`` needs it).
 * ``lsn`` -- the LSN of the latest update reflected in the segment, used
   by FUZZYCOPY/2C/COU-style algorithms to respect the write-ahead rule.
 
+The array layout makes the scans that previously walked a Python object
+per segment -- ``dirty_segments()``, the two-color paint reset, a
+post-crash wipe -- single vectorised numpy operations.  :class:`Segment`
+remains the public per-segment handle, now a thin view whose metadata
+properties read and write the table, so checkpointer code is unchanged.
+
 Record *values* are held in a numpy array owned by the database; the
-segment stores only its slice bounds plus metadata, so taking a copy of a
-segment is a single vectorised operation.
+segment stores only its slice bounds, so taking a copy of a segment is a
+single vectorised operation.
 """
 
 from __future__ import annotations
@@ -31,36 +40,105 @@ import numpy as np
 from ..errors import InvalidStateError
 
 
-class Segment:
-    """Metadata and value-slice handle for one database segment."""
+class SegmentTable:
+    """Struct-of-arrays store for every segment's checkpoint metadata."""
 
-    __slots__ = (
-        "index",
-        "first_record",
-        "n_records",
-        "_values",
-        "dirty",
-        "painted_black",
-        "timestamp",
-        "lsn",
-        "old_copy",
-        "old_copy_timestamp",
-        "old_copy_lsn",
-    )
+    __slots__ = ("n_segments", "dirty", "painted_black", "timestamp", "lsn",
+                 "old_copy_timestamp", "old_copy_lsn", "old_copies")
+
+    def __init__(self, n_segments: int) -> None:
+        self.n_segments = n_segments
+        self.dirty = np.zeros(n_segments, dtype=bool)
+        self.painted_black = np.zeros(n_segments, dtype=bool)
+        self.timestamp = np.zeros(n_segments, dtype=np.float64)
+        self.lsn = np.zeros(n_segments, dtype=np.int64)
+        self.old_copy_timestamp = np.zeros(n_segments, dtype=np.float64)
+        self.old_copy_lsn = np.zeros(n_segments, dtype=np.int64)
+        #: sparse old-copy data: segment id -> saved value snapshot
+        self.old_copies: dict[int, np.ndarray] = {}
+
+    # -- vectorised scans ---------------------------------------------------
+    def dirty_indices(self) -> list[int]:
+        """Ids of all dirty segments, ascending (one vectorised scan)."""
+        return np.flatnonzero(self.dirty).tolist()
+
+    def clear_paint(self) -> None:
+        """Paint every segment white (two-color begin / crash reset)."""
+        self.painted_black[:] = False
+
+    def mark_all_dirty(self) -> None:
+        """Set every dirty bit (post-recovery conservative restamp)."""
+        self.dirty[:] = True
+
+    def reset(self) -> None:
+        """Forget all metadata (loss of volatile memory)."""
+        self.dirty[:] = False
+        self.painted_black[:] = False
+        self.timestamp[:] = 0.0
+        self.lsn[:] = 0
+        self.old_copy_timestamp[:] = 0.0
+        self.old_copy_lsn[:] = 0
+        self.old_copies.clear()
+
+
+class Segment:
+    """Per-segment handle: a value slice plus a metadata view into the
+    owning :class:`SegmentTable`."""
+
+    __slots__ = ("index", "first_record", "n_records", "_values", "_table")
 
     def __init__(self, index: int, first_record: int, n_records: int,
-                 values: np.ndarray) -> None:
+                 values: np.ndarray, table: SegmentTable) -> None:
         self.index = index
         self.first_record = first_record
         self.n_records = n_records
         self._values = values  # the database-wide value array (shared)
-        self.dirty = False
-        self.painted_black = False
-        self.timestamp = 0.0
-        self.lsn = 0
-        self.old_copy: Optional[np.ndarray] = None
-        self.old_copy_timestamp = 0.0
-        self.old_copy_lsn = 0
+        self._table = table
+
+    # -- metadata (delegated to the table) ----------------------------------
+    @property
+    def dirty(self) -> bool:
+        return bool(self._table.dirty[self.index])
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        self._table.dirty[self.index] = value
+
+    @property
+    def painted_black(self) -> bool:
+        return bool(self._table.painted_black[self.index])
+
+    @painted_black.setter
+    def painted_black(self, value: bool) -> None:
+        self._table.painted_black[self.index] = value
+
+    @property
+    def timestamp(self) -> float:
+        return float(self._table.timestamp[self.index])
+
+    @timestamp.setter
+    def timestamp(self, value: float) -> None:
+        self._table.timestamp[self.index] = value
+
+    @property
+    def lsn(self) -> int:
+        return int(self._table.lsn[self.index])
+
+    @lsn.setter
+    def lsn(self, value: int) -> None:
+        self._table.lsn[self.index] = value
+
+    @property
+    def old_copy(self) -> Optional[np.ndarray]:
+        return self._table.old_copies.get(self.index)
+
+    @property
+    def old_copy_timestamp(self) -> float:
+        return float(self._table.old_copy_timestamp[self.index])
+
+    @property
+    def old_copy_lsn(self) -> int:
+        return int(self._table.old_copy_lsn[self.index])
 
     # -- value access ------------------------------------------------------
     @property
@@ -98,20 +176,24 @@ class Segment:
             InvalidStateError: if an old copy already exists; the COU
                 algorithm copies each segment at most once per checkpoint.
         """
-        if self.old_copy is not None:
+        table = self._table
+        index = self.index
+        if index in table.old_copies:
             raise InvalidStateError(
-                f"segment {self.index} already has an old copy this checkpoint"
+                f"segment {index} already has an old copy this checkpoint"
             )
-        self.old_copy = self.copy_data()
-        self.old_copy_timestamp = self.timestamp
-        self.old_copy_lsn = self.lsn
-        return self.old_copy
+        copy = self.copy_data()
+        table.old_copies[index] = copy
+        table.old_copy_timestamp[index] = table.timestamp[index]
+        table.old_copy_lsn[index] = table.lsn[index]
+        return copy
 
     def drop_old_copy(self) -> None:
         """Release the old copy (after the checkpointer has flushed it)."""
-        self.old_copy = None
-        self.old_copy_timestamp = 0.0
-        self.old_copy_lsn = 0
+        table = self._table
+        table.old_copies.pop(self.index, None)
+        table.old_copy_timestamp[self.index] = 0.0
+        table.old_copy_lsn[self.index] = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "".join(

@@ -33,6 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..errors import RecoveryError
 from ..mmdb.database import Database
 from ..params import SystemParameters
@@ -177,7 +179,10 @@ class RecoveryManager:
         next checkpoint on each image flushes everything.  A fresh logical
         timestamp on every segment achieves exactly that.
         """
-        for segment in self.database.segments:
-            segment.dirty = True
-            if self.authority is not None:
-                segment.timestamp = self.authority.next()
+        table = self.database.table
+        table.mark_all_dirty()
+        if self.authority is not None:
+            n = self.database.n_segments
+            first = self.authority.reserve(n)
+            table.timestamp[:] = np.arange(first, first + n,
+                                           dtype=np.float64)

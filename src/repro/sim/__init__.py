@@ -32,7 +32,7 @@ package.)
 from . import ports
 from .clock import Clock
 from .cpu_server import CpuServer
-from .engine import Event, EventEngine
+from .engine import EventEngine, EventHandle
 from .rng import RandomStreams
 from .timestamps import TimestampAuthority
 from .trace import TraceEvent, Tracer
@@ -52,8 +52,8 @@ __all__ = [
     "Clock",
     "CommittedStateOracle",
     "CpuServer",
-    "Event",
     "EventEngine",
+    "EventHandle",
     "RandomStreams",
     "RecordMismatch",
     "SimulatedSystem",

@@ -59,7 +59,7 @@ class RandomStreams:
                 f"cannot draw {count} distinct values from {population}"
             )
         draws = self.stream(name).choice(population, size=count, replace=False)
-        return [int(x) for x in draws]
+        return draws.tolist()
 
 
 def _stable_hash(name: str) -> int:

@@ -272,7 +272,7 @@ class SimulatedSystem:
         return self.metrics()
 
     def _schedule_next_arrival(self) -> None:
-        delay = self.workload.next_interarrival(self.engine.now)
+        delay = self.workload.next_interarrival(self.engine.clock._now)
         if delay is None:
             # The arrival schedule has run out of load (it ended in a
             # pause): the open system goes quiet, everything in flight
@@ -281,13 +281,14 @@ class SimulatedSystem:
         self.engine.schedule_after(delay, self._arrival, label="txn arrival")
 
     def _arrival(self) -> None:
-        txn = self.workload.make_transaction(self.engine.now)
-        self.tracer.record(self.engine.now, "arrival", txn_id=txn.txn_id)
+        now = self.engine.clock._now  # hot path: one read per arrival
+        txn = self.workload.make_transaction(now)
+        if self.tracer.enabled:
+            self.tracer.record(now, "arrival", txn_id=txn.txn_id)
         if self.telemetry.enabled:
             self.telemetry.registry.count("workload.arrivals")
             self.telemetry.registry.observe(
-                "workload.offered_rate",
-                self.workload.rate_at(self.engine.now))
+                "workload.offered_rate", self.workload.rate_at(now))
         self.txn_manager.submit(txn)
         self._schedule_next_arrival()
 

@@ -24,6 +24,16 @@ class TimestampAuthority:
         self._last += 1
         return self._last
 
+    def reserve(self, count: int) -> int:
+        """Consume ``count`` consecutive timestamps, returning the first.
+
+        Equivalent to ``count`` calls to :meth:`next`; lets bulk stampers
+        (post-recovery restamp) fill an array without a Python loop.
+        """
+        first = self._last + 1
+        self._last += count
+        return first
+
     @property
     def last(self) -> int:
         """The most recently issued timestamp (``start`` if none yet)."""

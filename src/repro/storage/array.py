@@ -45,7 +45,16 @@ class DiskArray:
     # -- discrete-event interface ------------------------------------------
     def submit(self, now: float, words: int) -> float:
         """Send one request to the earliest-free disk; returns completion."""
-        disk = min(self.disks, key=lambda d: d.free_at)
+        # Manual argmin: every checkpoint segment write lands here, and
+        # ``min(..., key=lambda)`` costs a lambda call per disk.
+        disks = self.disks
+        disk = disks[0]
+        best_free = disk.free_at
+        for candidate in disks:
+            free_at = candidate.free_at
+            if free_at < best_free:
+                disk = candidate
+                best_free = free_at
         if self.telemetry.enabled:
             # Array queue depth at submission: disks still busy now.
             self.telemetry.registry.observe(

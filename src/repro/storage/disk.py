@@ -53,8 +53,13 @@ class Disk:
         disk and add exponential-backoff delay, and exhausting the
         retry budget raises :class:`~repro.errors.MediaError`.
         """
-        start = max(now, self.free_at)
-        service = self.service_time(words)
+        # Inline of ``max(now, free_at)`` + :meth:`service_time`: this is
+        # called once per segment write and the two calls dominate it.
+        free_at = self.free_at
+        start = now if now > free_at else free_at
+        if words < 0:
+            raise ConfigurationError(f"words must be >= 0, got {words!r}")
+        service = self.t_seek + self.t_trans * words
         if self.faults.armed:
             # May raise CrashError (write-count trigger) or MediaError.
             delay, extra_busy = self.faults.on_disk_request(

@@ -71,9 +71,11 @@ class _NullCoordinator:
 
     def guard_access(self, txn: Transaction, segment: Segment) -> None:
         return None
+    guard_access._noop = True  # type: ignore[attr-defined]
 
     def before_install(self, txn: Transaction, segment: Segment) -> None:
         return None
+    before_install._noop = True  # type: ignore[attr-defined]
 
 
 #: default cap on retained per-commit response times (satellite of the
@@ -200,6 +202,10 @@ class TransactionManager:
         #: cap on retained response-time samples (see TransactionStats)
         self.response_reservoir = response_reservoir
         self.coordinator: CheckpointCoordinator = _NullCoordinator()
+        #: bound hook methods, or None when the coordinator's hook is a
+        #: known no-op (so the per-record loops skip the call entirely)
+        self._guard_access: Optional[Callable[[Transaction, Segment], None]] = None
+        self._before_install: Optional[Callable[[Transaction, Segment], None]] = None
         self.stats = self.new_stats()
         #: optional observers (the simulator wires these to its tracer)
         self.on_commit: Optional[Callable[[Transaction], None]] = None
@@ -223,6 +229,12 @@ class TransactionManager:
     # -- checkpointer wiring -------------------------------------------------
     def set_coordinator(self, coordinator: Optional[CheckpointCoordinator]) -> None:
         self.coordinator = coordinator if coordinator is not None else _NullCoordinator()
+        # Hooks the coordinator left as the default no-ops (marked
+        # ``_noop``) are elided from the per-record hot loops.
+        guard = self.coordinator.guard_access
+        self._guard_access = None if getattr(guard, "_noop", False) else guard
+        hook = self.coordinator.before_install
+        self._before_install = None if getattr(hook, "_noop", False) else hook
 
     def active_transaction_ids(self) -> List[int]:
         """Transactions mid-flight (waiting on locks or quiesced).
@@ -341,16 +353,42 @@ class TransactionManager:
         self._try_commit(txn)
 
     def _guard_and_stage(self, txn: Transaction) -> None:
-        for record_id in txn.record_ids:
-            segment = self.database.segment_of(record_id)
-            self.coordinator.guard_access(txn, segment)
-            operand = (txn.delta_for(record_id) if self.logical_updates
-                       else txn.value_for(record_id))
-            txn.shadow.stage(record_id, operand)
+        database = self.database
+        stage = txn.shadow.stage
+        operand_for = txn.delta_for if self.logical_updates else txn.value_for
+        guard_access = self._guard_access
+        if guard_access is not None:
+            segments = database.segments
+            for record_id in txn.record_ids:
+                # one bounds check per record; the commit loop reuses it
+                segment = segments[database.segment_index_of(record_id)]
+                guard_access(txn, segment)
+                stage(record_id, operand_for(record_id))
+        elif self.logical_updates:
+            # No access guard (fuzzy/naive coordinators): the segment
+            # object is never consulted, only the bounds check remains.
+            bounds_check = database.segment_index_of
+            for record_id in txn.record_ids:
+                bounds_check(record_id)
+                stage(record_id, operand_for(record_id))
+        else:
+            # Fused staging for the hot configuration (no guard, value
+            # logging): inline bounds check, Transaction.value_for, and
+            # ShadowBuffer.stage into one dict-store loop.  Keep the
+            # value formula in sync with Transaction.value_for.
+            n_records = database.n_records
+            updates = txn.shadow._updates
+            value_base = txn.txn_id * 1_000_003
+            for record_id in txn.record_ids:
+                if not 0 <= record_id < n_records:
+                    database.segment_index_of(record_id)  # raises AddressError
+                updates[record_id] = value_base + (record_id % 1_000_003)
 
     # -- locking ----------------------------------------------------------------
     def _touched_segments(self, txn: Transaction) -> List[int]:
-        return sorted({self.database.segment_index_of(r) for r in txn.record_ids})
+        # record ids were bounds-checked when staged; plain division here
+        per_segment = self.database.records_per_segment
+        return sorted({r // per_segment for r in txn.record_ids})
 
     def _try_commit(self, txn: Transaction) -> None:
         """All-or-nothing lock acquisition, then the commit sequence.
@@ -362,24 +400,15 @@ class TransactionManager:
         bounded by I/O time, never by waiting on transactions.
         """
         segments = self._touched_segments(txn)
-        acquired: List[int] = []
-        blocker: Optional[int] = None
-        for index in segments:
-            if self.locks.try_acquire(index, txn.txn_id, LockMode.EXCLUSIVE):
-                acquired.append(index)
-            else:
-                blocker = index
-                break
+        blocker = self.locks.try_acquire_many(segments, txn.txn_id,
+                                              LockMode.EXCLUSIVE)
         if blocker is not None:
-            for index in acquired:
-                self.locks.release(index, txn.txn_id)
             self._wait_for_lock(txn, blocker)
             return
         try:
             self._commit(txn)
         finally:
-            for index in segments:
-                self.locks.release(index, txn.txn_id)
+            self.locks.release_many(segments, txn.txn_id)
 
     def _wait_for_lock(self, txn: Transaction, segment_index: int) -> None:
         txn.state = TransactionState.WAITING
@@ -412,23 +441,55 @@ class TransactionManager:
 
     # -- commit ---------------------------------------------------------------------
     def _commit(self, txn: Transaction) -> None:
-        now = self.engine.now
-        for record_id, operand in txn.shadow:
-            if self.logical_updates:
-                self.log.append_logical_update(txn.txn_id, record_id, operand)
-            else:
-                self.log.append_update(txn.txn_id, record_id, operand)
-        commit_record = self.log.append_commit(txn.txn_id)
-        txn.commit_lsn = commit_record.lsn
-        for record_id, operand in txn.shadow:
-            segment = self.database.segment_of(record_id)
-            self.coordinator.before_install(txn, segment)
-            value = (self.database.read_record(record_id) + operand
-                     if self.logical_updates else operand)
-            self.database.install_record(
-                record_id, value, timestamp=txn.timestamp, lsn=commit_record.lsn)
-            if self.coordinator.uses_lsns:
-                self.ledger.charge_lsn(synchronous=True)
+        now = self.engine.clock._now  # hot path: skip the property pair
+        txn_id = txn.txn_id
+        logical = self.logical_updates
+        log = self.log
+        if logical:
+            log.append_logical_updates(txn_id, txn.shadow)
+        else:
+            log.append_updates(txn_id, txn.shadow)
+        commit_record = log.append_commit(txn_id)
+        commit_lsn = commit_record.lsn
+        txn.commit_lsn = commit_lsn
+        database = self.database
+        segments = database.segments
+        per_segment = database.records_per_segment
+        before_install = self._before_install
+        timestamp = txn.timestamp
+        # record ids were bounds-checked when staged: plain division here
+        if logical or before_install is not None:
+            install_record = database.install_record
+            read_record = database.read_record
+            for record_id, operand in txn.shadow:
+                if before_install is not None:
+                    before_install(txn, segments[record_id // per_segment])
+                value = (read_record(record_id) + operand
+                         if logical else operand)
+                install_record(record_id, value, timestamp=timestamp,
+                               lsn=commit_lsn)
+        else:
+            # Fused install loop (the common coordinators): one pass over
+            # the shadow buffer touching the value array and the
+            # struct-of-arrays metadata directly, no per-record call.
+            table = database.table
+            values = database._values
+            dirty = table.dirty
+            timestamps = table.timestamp
+            lsns = table.lsn
+            for record_id, value in txn.shadow:
+                index = record_id // per_segment
+                values[record_id] = value
+                dirty[index] = True
+                if timestamp > timestamps[index]:
+                    timestamps[index] = timestamp
+                if commit_lsn > lsns[index]:
+                    lsns[index] = commit_lsn
+        if self.coordinator.uses_lsns:
+            # One batched charge: ``n`` LSN stamps of ``c_lsn`` each
+            # (integral instruction counts, so the sum is exact).
+            self.ledger.charge_lsn(synchronous=True,
+                                   operations=len(txn.shadow))
         txn.shadow.mark_installed()
         txn.state = TransactionState.COMMITTED
         txn.commit_time = now

@@ -25,7 +25,7 @@ class TransactionState(enum.Enum):
     FAILED = "failed"          # aborted permanently (rerun limit exceeded)
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """One transaction instance (possibly a rerun of an aborted attempt)."""
 
@@ -48,10 +48,14 @@ class Transaction:
                 f"txn {self.txn_id} cannot run again from state {self.state}"
             )
         self.timestamp = timestamp
+        if self.attempts:
+            # Reruns need fresh staging state; a first attempt reuses the
+            # pristine buffer the constructor made (saves an allocation
+            # pair on every transaction).
+            self.shadow = ShadowBuffer()
+            self.colors_seen = set()
         self.attempts += 1
         self.state = TransactionState.PENDING
-        self.shadow = ShadowBuffer()
-        self.colors_seen = set()
 
     def restamp(self, timestamp: int) -> None:
         """Refresh tau(T) and the shadow buffer without counting an attempt.

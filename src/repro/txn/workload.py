@@ -39,6 +39,17 @@ class WorkloadGenerator:
         self.spec = spec
         self.streams = streams
         self._next_txn_id = 1
+        # Hot-path generators, hoisted: the named-stream lookup plus the
+        # wrapper's argument checks cost a dict probe and two Python calls
+        # per arrival/selection.  The generators are the *same* objects the
+        # streams registry hands out, so draw sequences are unchanged.
+        self._arrival_rng = streams.stream(self.ARRIVAL_STREAM)
+        self._record_rng = streams.stream(self.RECORD_STREAM)
+        self._mean_interarrival = 1.0 / params.lam
+        # The paper's baseline workload (uniform selection, fixed N_ru)
+        # short-circuits straight to one generator call per transaction.
+        self._uniform_fixed = (spec.distribution is AccessDistribution.UNIFORM
+                               and spec.update_count_mix is None)
 
     # -- arrivals -------------------------------------------------------------
     def next_interarrival(self, now: float = 0.0) -> float:
@@ -51,8 +62,8 @@ class WorkloadGenerator:
         instant.
         """
         if self.spec.poisson_arrivals:
-            return self.streams.exponential(self.ARRIVAL_STREAM, self.params.lam)
-        return 1.0 / self.params.lam
+            return float(self._arrival_rng.exponential(self._mean_interarrival))
+        return self._mean_interarrival
 
     def rate_at(self, now: float = 0.0) -> float:
         """Offered arrival rate at ``now``: the constant ``params.lam``."""
@@ -78,12 +89,15 @@ class WorkloadGenerator:
         return min(mix[-1][0], self.params.n_records)
 
     def _draw_records(self) -> list[int]:
+        params = self.params
+        if self._uniform_fixed:
+            return self._record_rng.choice(
+                params.n_records, size=params.n_ru, replace=False).tolist()
         n = self._draw_update_count()
-        total = self.params.n_records
-        rng = self.streams.stream(self.RECORD_STREAM)
+        total = params.n_records
+        rng = self._record_rng
         if self.spec.distribution is AccessDistribution.UNIFORM:
-            return self.streams.choice_without_replacement(
-                self.RECORD_STREAM, total, n)
+            return rng.choice(total, size=n, replace=False).tolist()
         if self.spec.distribution is AccessDistribution.ZIPF:
             return self._draw_zipf(rng, total, n)
         return self._draw_hotspot(rng, total, n)

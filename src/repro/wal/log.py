@@ -21,8 +21,10 @@ is retained.  Recovery then reads :meth:`stable_records`.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from bisect import bisect_left
+from operator import attrgetter
+from typing import (Callable, Iterable, List, NamedTuple, Optional, Sequence,
+                    Tuple)
 
 from ..errors import InvalidStateError, WALViolation
 from ..faults.injector import NULL_INJECTOR, FaultInjector
@@ -44,9 +46,11 @@ from .records import (
 
 StableCallback = Callable[[], None]
 
+#: bisection key for the LSN-ordered stable log
+_record_lsn = attrgetter("lsn")
 
-@dataclass(frozen=True)
-class FlushResult:
+
+class FlushResult(NamedTuple):
     """Outcome of one group flush."""
 
     records: int
@@ -78,12 +82,35 @@ class LogManager:
         self.flush_count = 0
         self.words_appended = 0
         self.words_flushed = 0
+        #: running word count of the volatile tail, so group flushes do
+        #: not re-sum the whole tail (``tail_words`` is O(1))
+        self._tail_words = 0
+        # Per-type record sizes are layout constants (only the begin
+        # marker varies, with its active-transaction list); precomputing
+        # them keeps the append hot path free of size_words dispatch.
+        self._update_words = params.s_rec + params.s_log_header
+        self._logical_words = 1 + params.s_log_header
+        self._outcome_words = params.s_log_commit
+        self._words_by_type = {
+            UpdateRecord: self._update_words,
+            LogicalUpdateRecord: self._logical_words,
+            CommitRecord: self._outcome_words,
+            AbortRecord: self._outcome_words,
+            EndCheckpointRecord: self._outcome_words,
+            MediaFailureRecord: self._outcome_words,
+            MediaRestoreRecord: self._outcome_words,
+        }
         #: records newly made stable since the last drain (oracle hook)
         self._newly_stable: List[LogRecord] = []
 
     # -- sizing -------------------------------------------------------------
     def record_size_words(self, record: LogRecord) -> int:
         """Size of ``record`` in words under the configured layout."""
+        words = self._words_by_type.get(type(record))
+        if words is not None:
+            return words
+        # Begin markers (variable-length active list) and any record
+        # subclass fall through to the polymorphic path.
         return record.size_words(
             record_words=self.params.s_rec,
             header_words=self.params.s_log_header,
@@ -91,9 +118,10 @@ class LogManager:
         )
 
     # -- appends --------------------------------------------------------------
-    def _append(self, make: Callable[[int], LogRecord]) -> LogRecord:
-        record = make(self._allocator.allocate())
-        words = self.record_size_words(record)
+    def _admit(self, record: LogRecord, words: int) -> None:
+        """Account for a freshly-built record of ``words`` words and place
+        it in the tail (or straight into the stable log under a
+        stable-RAM tail)."""
         self.words_appended += words
         if self.telemetry.enabled:
             registry = self.telemetry.registry
@@ -107,69 +135,122 @@ class LogManager:
             self._fire_waiters()
         else:
             self._tail.append(record)
-        return record
+            self._tail_words += words
 
     def append_update(self, txn_id: int, record_id: int, value: int) -> UpdateRecord:
         """Append one REDO record; returns it (with its LSN)."""
-        record = self._append(
-            lambda lsn: UpdateRecord(lsn=lsn, txn_id=txn_id,
-                                     record_id=record_id, value=value))
-        assert isinstance(record, UpdateRecord)
+        record = UpdateRecord(lsn=self._allocator.allocate(), txn_id=txn_id,
+                              record_id=record_id, value=value)
+        self._admit(record, self._update_words)
         return record
+
+    def append_updates(self, txn_id: int,
+                       items: Iterable[Tuple[int, int]]) -> int:
+        """Append one REDO record per ``(record_id, value)``; returns the
+        count.  Equivalent to calling :meth:`append_update` in a loop,
+        with the per-record accounting batched (one commit's worth of
+        records shares one telemetry/word update)."""
+        allocate = self._allocator.allocate
+        words_each = self._update_words
+        if self.stable_tail:
+            n = 0
+            for record_id, value in items:
+                self._admit(UpdateRecord(allocate(), txn_id, record_id, value),
+                            words_each)
+                n += 1
+            return n
+        tail_append = self._tail.append
+        n = 0
+        for record_id, value in items:
+            tail_append(UpdateRecord(allocate(), txn_id, record_id, value))
+            n += 1
+        words = n * words_each
+        self.words_appended += words
+        self._tail_words += words
+        if self.telemetry.enabled:
+            registry = self.telemetry.registry
+            registry.count("wal.appends", n)
+            registry.count("wal.words_appended", words)
+        return n
+
+    def append_logical_updates(self, txn_id: int,
+                               items: Iterable[Tuple[int, int]]) -> int:
+        """Bulk form of :meth:`append_logical_update` over ``(record_id,
+        delta)`` pairs; returns the count."""
+        allocate = self._allocator.allocate
+        words_each = self._logical_words
+        if self.stable_tail:
+            n = 0
+            for record_id, delta in items:
+                self._admit(
+                    LogicalUpdateRecord(allocate(), txn_id, record_id, delta),
+                    words_each)
+                n += 1
+            return n
+        tail_append = self._tail.append
+        n = 0
+        for record_id, delta in items:
+            tail_append(LogicalUpdateRecord(allocate(), txn_id, record_id,
+                                            delta))
+            n += 1
+        words = n * words_each
+        self.words_appended += words
+        self._tail_words += words
+        if self.telemetry.enabled:
+            registry = self.telemetry.registry
+            registry.count("wal.appends", n)
+            registry.count("wal.words_appended", words)
+        return n
 
     def append_logical_update(self, txn_id: int, record_id: int,
                               delta: int) -> LogicalUpdateRecord:
         """Append one logical (transition) REDO record."""
-        record = self._append(
-            lambda lsn: LogicalUpdateRecord(lsn=lsn, txn_id=txn_id,
-                                            record_id=record_id, delta=delta))
-        assert isinstance(record, LogicalUpdateRecord)
+        record = LogicalUpdateRecord(lsn=self._allocator.allocate(),
+                                     txn_id=txn_id, record_id=record_id,
+                                     delta=delta)
+        self._admit(record, self._logical_words)
         return record
 
     def append_commit(self, txn_id: int) -> CommitRecord:
-        record = self._append(lambda lsn: CommitRecord(lsn=lsn, txn_id=txn_id))
-        assert isinstance(record, CommitRecord)
+        record = CommitRecord(self._allocator.allocate(), txn_id)
+        self._admit(record, self._outcome_words)
         return record
 
     def append_abort(self, txn_id: int, reason: str = "aborted") -> AbortRecord:
-        record = self._append(
-            lambda lsn: AbortRecord(lsn=lsn, txn_id=txn_id, reason=reason))
-        assert isinstance(record, AbortRecord)
+        record = AbortRecord(lsn=self._allocator.allocate(), txn_id=txn_id,
+                             reason=reason)
+        self._admit(record, self._outcome_words)
         return record
 
     def append_begin_checkpoint(
         self, checkpoint_id: int, timestamp: float,
         active_txns: Iterable[int], image: int,
     ) -> BeginCheckpointRecord:
-        record = self._append(
-            lambda lsn: BeginCheckpointRecord(
-                lsn=lsn, checkpoint_id=checkpoint_id, timestamp=timestamp,
-                active_txns=tuple(active_txns), image=image))
-        assert isinstance(record, BeginCheckpointRecord)
+        record = BeginCheckpointRecord(
+            lsn=self._allocator.allocate(), checkpoint_id=checkpoint_id,
+            timestamp=timestamp, active_txns=tuple(active_txns), image=image)
+        self._admit(record, self._outcome_words + len(record.active_txns))
         return record
 
     def append_end_checkpoint(self, checkpoint_id: int,
                               image: int) -> EndCheckpointRecord:
-        record = self._append(
-            lambda lsn: EndCheckpointRecord(lsn=lsn, checkpoint_id=checkpoint_id,
-                                            image=image))
-        assert isinstance(record, EndCheckpointRecord)
+        record = EndCheckpointRecord(lsn=self._allocator.allocate(),
+                                     checkpoint_id=checkpoint_id, image=image)
+        self._admit(record, self._outcome_words)
         return record
 
     def append_media_failure(self, image: int) -> MediaFailureRecord:
         """Record that backup image ``image`` was lost (Section 2.7)."""
-        record = self._append(
-            lambda lsn: MediaFailureRecord(lsn=lsn, image=image))
-        assert isinstance(record, MediaFailureRecord)
+        record = MediaFailureRecord(lsn=self._allocator.allocate(), image=image)
+        self._admit(record, self._outcome_words)
         return record
 
     def append_media_restore(self, image: int,
                              checkpoint_id: int) -> MediaRestoreRecord:
         """Record that ``image`` was rebuilt from an archived checkpoint."""
-        record = self._append(
-            lambda lsn: MediaRestoreRecord(lsn=lsn, image=image,
-                                           checkpoint_id=checkpoint_id))
-        assert isinstance(record, MediaRestoreRecord)
+        record = MediaRestoreRecord(lsn=self._allocator.allocate(),
+                                    image=image, checkpoint_id=checkpoint_id)
+        self._admit(record, self._outcome_words)
         return record
 
     # -- flushing ----------------------------------------------------------------
@@ -189,11 +270,11 @@ class LogManager:
 
     @property
     def tail_words(self) -> int:
-        return sum(self.record_size_words(r) for r in self._tail)
+        return self._tail_words
 
     def flush(self) -> FlushResult:
         """Force the whole tail to stable storage (group flush)."""
-        words = self.tail_words
+        words = self._tail_words
         count = len(self._tail)
         if count:
             if self.faults.armed:
@@ -225,6 +306,7 @@ class LogManager:
             self._newly_stable.extend(self._tail)
             self._stable_lsn = self._tail[-1].lsn
             self._tail.clear()
+            self._tail_words = 0
             self.words_flushed += words
             self.flush_count += 1
             self._fire_waiters()
@@ -272,6 +354,7 @@ class LogManager:
         """
         lost = len(self._tail)
         self._tail.clear()
+        self._tail_words = 0
         self._waiters.clear()
         return lost
 
@@ -287,11 +370,12 @@ class LogManager:
 
     def stable_words_from(self, lsn: int) -> int:
         """Words of stable log at or after ``lsn`` (recovery read volume)."""
-        return sum(
-            self.record_size_words(record)
-            for record in self._stable
-            if record.lsn >= lsn
-        )
+        stable = self._stable
+        # The stable log is LSN-ordered, so the suffix starts at a
+        # bisection point rather than a full scan.
+        lo = bisect_left(stable, lsn, key=_record_lsn)
+        size = self.record_size_words
+        return sum(size(record) for record in stable[lo:])
 
     def truncate_stable_before(self, lsn: int) -> int:
         """Discard stable records with LSN < ``lsn`` (log reclamation).
@@ -299,15 +383,19 @@ class LogManager:
         Checkpointing bounds the log: once a checkpoint completes, records
         older than the *previous* completed checkpoint's begin marker are
         never needed again.  Returns the number of words reclaimed.
+
+        The stable log is LSN-ordered, so the cut point is found by
+        bisection and only the reclaimed prefix is ever touched -- the
+        survivors are kept by one slice delete instead of a rebuild of
+        the whole list on every checkpoint completion.
         """
-        kept: List[LogRecord] = []
-        reclaimed = 0
-        for record in self._stable:
-            if record.lsn < lsn:
-                reclaimed += self.record_size_words(record)
-            else:
-                kept.append(record)
-        self._stable = kept
+        stable = self._stable
+        cut = bisect_left(stable, lsn, key=_record_lsn)
+        if cut == 0:
+            return 0
+        size = self.record_size_words
+        reclaimed = sum(size(record) for record in stable[:cut])
+        del stable[:cut]
         return reclaimed
 
     def find_last_completed_checkpoint(

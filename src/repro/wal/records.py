@@ -19,30 +19,23 @@ The REDO-only log (Section 2.6) contains:
 
 Each record knows its size in words so log volume -- and hence recovery
 time -- can be accounted exactly as the model does.
+
+Records are named tuples: construction is a single C call, which
+matters because the transaction hot path builds one record per update
+plus one per outcome.  They are immutable and compare/hash by value,
+exactly as the frozen dataclasses they replaced did.  :data:`LogRecord`
+remains as the union type annotation for "any log record".
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from typing import NamedTuple, Tuple, Union
 
 
-@dataclass(frozen=True)
-class LogRecord:
-    """Base log record.  ``lsn`` is assigned by the log manager on append."""
-
-    lsn: int
-
-    def size_words(self, record_words: int, header_words: int,
-                   commit_words: int) -> int:
-        """Size of this record in words, given the layout parameters."""
-        raise NotImplementedError
-
-
-@dataclass(frozen=True)
-class UpdateRecord(LogRecord):
+class UpdateRecord(NamedTuple):
     """REDO record: transaction ``txn_id`` set ``record_id`` to ``value``."""
 
+    lsn: int
     txn_id: int = 0
     record_id: int = 0
     value: int = 0
@@ -52,8 +45,7 @@ class UpdateRecord(LogRecord):
         return record_words + header_words
 
 
-@dataclass(frozen=True)
-class LogicalUpdateRecord(LogRecord):
+class LogicalUpdateRecord(NamedTuple):
     """Logical (transition) REDO record: apply ``delta`` to ``record_id``.
 
     The paper notes that consistent backups "permit the use of logical
@@ -68,6 +60,7 @@ class LogicalUpdateRecord(LogRecord):
     tests/test_logical_logging.py.
     """
 
+    lsn: int
     txn_id: int = 0
     record_id: int = 0
     delta: int = 0
@@ -78,10 +71,10 @@ class LogicalUpdateRecord(LogRecord):
         return 1 + header_words
 
 
-@dataclass(frozen=True)
-class CommitRecord(LogRecord):
+class CommitRecord(NamedTuple):
     """Transaction ``txn_id`` committed."""
 
+    lsn: int
     txn_id: int = 0
 
     def size_words(self, record_words: int, header_words: int,
@@ -89,10 +82,10 @@ class CommitRecord(LogRecord):
         return commit_words
 
 
-@dataclass(frozen=True)
-class AbortRecord(LogRecord):
+class AbortRecord(NamedTuple):
     """Transaction ``txn_id`` aborted (its update records must be skipped)."""
 
+    lsn: int
     txn_id: int = 0
     reason: str = "aborted"
 
@@ -101,8 +94,7 @@ class AbortRecord(LogRecord):
         return commit_words
 
 
-@dataclass(frozen=True)
-class BeginCheckpointRecord(LogRecord):
+class BeginCheckpointRecord(NamedTuple):
     """A checkpoint began.
 
     Attributes:
@@ -113,9 +105,10 @@ class BeginCheckpointRecord(LogRecord):
         image: which ping-pong backup image (0 or 1) this checkpoint writes.
     """
 
+    lsn: int
     checkpoint_id: int = 0
     timestamp: float = 0.0
-    active_txns: Tuple[int, ...] = field(default_factory=tuple)
+    active_txns: Tuple[int, ...] = ()
     image: int = 0
 
     def size_words(self, record_words: int, header_words: int,
@@ -123,10 +116,10 @@ class BeginCheckpointRecord(LogRecord):
         return commit_words + len(self.active_txns)
 
 
-@dataclass(frozen=True)
-class EndCheckpointRecord(LogRecord):
+class EndCheckpointRecord(NamedTuple):
     """Checkpoint ``checkpoint_id`` completed; image ``image`` is whole."""
 
+    lsn: int
     checkpoint_id: int = 0
     image: int = 0
 
@@ -135,8 +128,7 @@ class EndCheckpointRecord(LogRecord):
         return commit_words
 
 
-@dataclass(frozen=True)
-class MediaRestoreRecord(LogRecord):
+class MediaRestoreRecord(NamedTuple):
     """Backup image ``image`` was rebuilt from an archival (tape) dump of
     checkpoint ``checkpoint_id``.
 
@@ -146,6 +138,7 @@ class MediaRestoreRecord(LogRecord):
     is from.
     """
 
+    lsn: int
     image: int = 0
     checkpoint_id: int = 0
 
@@ -154,8 +147,7 @@ class MediaRestoreRecord(LogRecord):
         return commit_words
 
 
-@dataclass(frozen=True)
-class MediaFailureRecord(LogRecord):
+class MediaFailureRecord(NamedTuple):
     """Backup image ``image`` was lost to a secondary-media failure.
 
     Paper Section 2.7 discusses secondary media failures in a MMDBMS.
@@ -165,8 +157,23 @@ class MediaFailureRecord(LogRecord):
     recent failure record for that image (the image was rewritten since).
     """
 
+    lsn: int
     image: int = 0
 
     def size_words(self, record_words: int, header_words: int,
                    commit_words: int) -> int:
         return commit_words
+
+
+#: any log record (the former shared base class, now a union: every
+#: concrete record is a NamedTuple and tuples cannot share field bases)
+LogRecord = Union[
+    UpdateRecord,
+    LogicalUpdateRecord,
+    CommitRecord,
+    AbortRecord,
+    BeginCheckpointRecord,
+    EndCheckpointRecord,
+    MediaRestoreRecord,
+    MediaFailureRecord,
+]

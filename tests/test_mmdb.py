@@ -159,6 +159,126 @@ class TestSegmentOldCopies:
         assert copy[0] == 0
 
 
+class TestSegmentTableEquivalence:
+    """The struct-of-arrays :class:`SegmentTable` and the per-segment
+    :class:`Segment` views must stay interchangeable: every metadata
+    write through either surface is visible, identically, through the
+    other.  Exercised over randomized update sequences (a property-style
+    sweep) because the divergence bugs this guards against -- a view
+    caching a value, an array write skipping a view invariant -- only
+    show up under interleaved mixed-surface traffic.
+    """
+
+    SEEDS = [3, 17, 91]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_mixed_surface_updates_agree(self, db, seed):
+        import random
+        rng = random.Random(seed)
+        n = db.n_segments
+        # shadow model: plain per-segment dicts, updated alongside
+        model = [{"dirty": False, "black": False, "ts": 0.0, "lsn": 0}
+                 for _ in range(n)]
+        for step in range(400):
+            index = rng.randrange(n)
+            seg = db.segment(index)
+            table = db.table
+            op = rng.randrange(6)
+            if op == 0:  # view setter, dirty
+                value = rng.random() < 0.5
+                seg.dirty = value
+                model[index]["dirty"] = value
+            elif op == 1:  # array write, dirty
+                value = rng.random() < 0.5
+                table.dirty[index] = value
+                model[index]["dirty"] = value
+            elif op == 2:  # view setter, paint
+                value = rng.random() < 0.5
+                seg.painted_black = value
+                model[index]["black"] = value
+            elif op == 3:  # monotone stamps through the view
+                ts = model[index]["ts"] + rng.random()
+                lsn = model[index]["lsn"] + rng.randrange(1, 5)
+                seg.timestamp = ts
+                seg.lsn = lsn
+                model[index]["ts"] = ts
+                model[index]["lsn"] = lsn
+            elif op == 4:  # install through the database hot path
+                record_id = seg.first_record + rng.randrange(seg.n_records)
+                ts = model[index]["ts"] + 1.0
+                lsn = model[index]["lsn"] + 1
+                db.install_record(record_id, rng.randrange(1 << 20),
+                                  timestamp=ts, lsn=lsn)
+                model[index]["dirty"] = True
+                model[index]["ts"] = ts
+                model[index]["lsn"] = lsn
+            else:  # bulk clear through the table
+                table.clear_paint()
+                for entry in model:
+                    entry["black"] = False
+            # Every surface agrees after every step.
+            assert seg.dirty is model[index]["dirty"]
+            assert bool(table.dirty[index]) is model[index]["dirty"]
+            assert seg.painted_black is model[index]["black"]
+            assert seg.timestamp == model[index]["ts"]
+            assert seg.lsn == model[index]["lsn"]
+        # Final full-table sweep: views and vectorised scans agree with
+        # the model everywhere, not just at touched indices.
+        expected_dirty = [i for i, entry in enumerate(model)
+                          if entry["dirty"]]
+        assert db.table.dirty_indices() == expected_dirty
+        for index in range(n):
+            seg = db.segment(index)
+            assert seg.dirty is model[index]["dirty"]
+            assert seg.painted_black is model[index]["black"]
+            assert seg.timestamp == model[index]["ts"]
+            assert seg.lsn == model[index]["lsn"]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_old_copy_lifecycle_agrees(self, db, seed):
+        import random
+        rng = random.Random(seed)
+        n = db.n_segments
+        saved: set[int] = set()
+        for step in range(200):
+            index = rng.randrange(n)
+            seg = db.segment(index)
+            if index not in saved and rng.random() < 0.5:
+                db.install_record(seg.first_record, step + 1,
+                                  timestamp=float(step), lsn=step + 1)
+                seg.save_old_copy()
+                saved.add(index)
+            elif index in saved and rng.random() < 0.5:
+                seg.drop_old_copy()
+                saved.discard(index)
+            # sparse dict and scalar mirrors stay in lockstep
+            assert set(db.table.old_copies) == saved
+            if index in saved:
+                assert seg.old_copy is not None
+                assert seg.old_copy_timestamp == \
+                    float(db.table.old_copy_timestamp[index])
+                assert seg.old_copy_lsn == int(db.table.old_copy_lsn[index])
+            else:
+                assert seg.old_copy is None
+                assert seg.old_copy_timestamp == 0.0
+                assert seg.old_copy_lsn == 0
+
+    def test_reset_wipes_views_and_arrays(self, db):
+        seg = db.segment(2)
+        seg.dirty = True
+        seg.painted_black = True
+        seg.timestamp = 4.5
+        seg.lsn = 9
+        seg.save_old_copy()
+        db.table.reset()
+        assert seg.dirty is False
+        assert seg.painted_black is False
+        assert seg.timestamp == 0.0
+        assert seg.lsn == 0
+        assert seg.old_copy is None
+        assert db.table.dirty_indices() == []
+
+
 class TestShadowBuffer:
     def test_stage_and_read_own_writes(self):
         shadow = ShadowBuffer()

@@ -92,11 +92,101 @@ class TestEventEngine:
     def test_cancelled_events_skipped(self):
         engine = EventEngine()
         fired = []
-        event = engine.schedule_at(1.0, lambda: fired.append("x"))
-        event.cancel()
+        handle = engine.schedule_at(1.0, lambda: fired.append("x"))
+        engine.cancel(handle)
         engine.run()
         assert fired == []
         assert engine.dispatched == 0
+
+    def test_cancel_is_idempotent(self):
+        engine = EventEngine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        engine.cancel(handle)
+        engine.cancel(handle)
+        assert engine.pending == 0
+
+    def test_cancel_one_of_several(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append("a"))
+        doomed = engine.schedule_at(2.0, lambda: fired.append("b"))
+        engine.schedule_at(3.0, lambda: fired.append("c"))
+        engine.cancel(doomed)
+        assert engine.pending == 2
+        engine.run()
+        assert fired == ["a", "c"]
+
+    def test_pending_is_live_count(self):
+        engine = EventEngine()
+        handles = [engine.schedule_at(float(i + 1), lambda: None)
+                   for i in range(5)]
+        assert engine.pending == 5
+        engine.cancel(handles[0])
+        engine.cancel(handles[3])
+        assert engine.pending == 3
+
+    def test_step_skips_cancelled(self):
+        engine = EventEngine()
+        fired = []
+        doomed = engine.schedule_at(1.0, lambda: fired.append("dead"))
+        engine.schedule_at(2.0, lambda: fired.append("live"))
+        engine.cancel(doomed)
+        assert engine.step() is True
+        assert fired == ["live"]
+
+    def test_compaction_drains_cancelled_backlog(self):
+        from repro.sim.engine import COMPACT_MIN_BACKLOG
+        engine = EventEngine()
+        keeper_fired = []
+        engine.schedule_at(1000.0, lambda: keeper_fired.append(True))
+        handles = [engine.schedule_at(float(i + 1), lambda: None)
+                   for i in range(2 * COMPACT_MIN_BACKLOG)]
+        for handle in handles:
+            engine.cancel(handle)
+        assert engine.compactions >= 1
+        # the heap really shrank; a sub-threshold residue may remain
+        assert len(engine._heap) < 1 + len(handles)
+        assert len(engine._cancelled) < COMPACT_MIN_BACKLOG
+        assert engine.pending == 1
+        engine.run()
+        assert keeper_fired == [True]
+        assert engine.dispatched == 1
+
+    def test_no_compaction_below_threshold(self):
+        engine = EventEngine()
+        keeper = engine.schedule_at(10.0, lambda: None)
+        doomed = engine.schedule_at(1.0, lambda: None)
+        engine.cancel(doomed)
+        assert engine.compactions == 0
+        assert engine.pending == 1
+        assert keeper is not doomed
+
+    def test_compaction_preserves_dispatch_order(self):
+        from repro.sim.engine import COMPACT_MIN_BACKLOG
+        engine = EventEngine()
+        fired = []
+        for tag in ("first", "second", "third"):
+            engine.schedule_at(500.0, lambda t=tag: fired.append(t))
+        handles = [engine.schedule_at(float(i + 1), lambda: None)
+                   for i in range(2 * COMPACT_MIN_BACKLOG)]
+        for handle in handles:
+            engine.cancel(handle)
+        assert engine.compactions >= 1
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_explicit_compact_counts(self):
+        engine = EventEngine()
+        engine.compact()
+        assert engine.compactions == 1
+
+    def test_clear_drops_cancelled_set(self):
+        engine = EventEngine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        engine.cancel(handle)
+        engine.clear()
+        assert engine.pending == 0
+        assert len(engine._cancelled) == 0
 
     def test_events_scheduled_during_dispatch(self):
         engine = EventEngine()

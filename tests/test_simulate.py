@@ -103,6 +103,29 @@ class TestSimulatedSystemLifecycle:
         assert ma.transactions_committed == mb.transactions_committed
         assert a.database.state_digest() == b.database.state_digest()
 
+    @pytest.mark.parametrize("algorithm", ["COUCOPY", "FUZZYCOPY", "2CCOPY"])
+    def test_fixed_seed_invariance_all_algorithms(self, tiny_params,
+                                                  algorithm):
+        """Identically-seeded runs agree on every observable outcome.
+
+        This is the bit-identity contract the kernel perf work must
+        preserve, checked per algorithm family: commit/abort counts,
+        checkpoint count, the overhead ledger, the stable log frontier,
+        and the full database content digest.
+        """
+        a = build_system(tiny_params, algorithm, seed=23)
+        b = build_system(tiny_params, algorithm, seed=23)
+        ma = a.run(2.0)
+        mb = b.run(2.0)
+        assert ma.transactions_committed == mb.transactions_committed
+        assert ma.aborts == mb.aborts
+        assert ma.reruns == mb.reruns
+        assert ma.checkpoints_completed == mb.checkpoints_completed
+        assert ma.overhead_per_transaction == mb.overhead_per_transaction
+        assert ma.words_written_to_backup == mb.words_written_to_backup
+        assert a.log.stable_lsn == b.log.stable_lsn
+        assert a.database.state_digest() == b.database.state_digest()
+
     def test_different_seeds_diverge(self, tiny_params):
         a = build_system(tiny_params, "COUCOPY", seed=1)
         b = build_system(tiny_params, "COUCOPY", seed=2)
