@@ -21,8 +21,10 @@ against a prior trajectory point with
 allowed fractional drop), so one invocation both validates a fresh
 ``BENCH_<n>.json`` and gates it on its predecessor.
 
-Exit code 0 means valid; 1 means invalid (every violation is listed)
-or regressed; 2 means the inputs themselves could not be read.
+Exit code 0 means valid; 1 means invalid or regressed -- every
+structural violation, rate-check failure, AND regressed metric is
+reported in the one pass, never just the first failing class; 2 means
+the inputs themselves could not be read.
 """
 
 from __future__ import annotations
@@ -98,14 +100,19 @@ def main(argv: List[str]) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error reading inputs: {exc}", file=sys.stderr)
         return 2
+    # One invocation reports EVERYTHING wrong with the document --
+    # structural violations, semantic rate checks, and (with --against)
+    # every regressed metric -- instead of stopping at the first failing
+    # class.  CI gets the full damage report in a single run.
     errors = validate(document, schema) + check_rates(document)
     if errors:
         print(f"{document_path} does NOT satisfy {schema_path}:",
               file=sys.stderr)
         for error in errors:
             print(f"  {error}", file=sys.stderr)
-        return 1
-    print(f"{document_path} satisfies {schema_path}")
+    else:
+        print(f"{document_path} satisfies {schema_path}")
+    regressions: List[str] = []
     if baseline is not None:
         sys.path.insert(0, os.path.join(_REPO, "src"))
         from repro.bench import DEFAULT_COMPARE_TOLERANCE, compare_bench
@@ -114,9 +121,7 @@ def main(argv: List[str]) -> int:
         report, regressions = compare_bench(baseline, document,
                                             tolerance=tolerance)
         print(report)
-        if regressions:
-            return 1
-    return 0
+    return 1 if errors or regressions else 0
 
 
 if __name__ == "__main__":

@@ -40,7 +40,7 @@ from .faults.plan import FaultPlan
 from .model.evaluate import ModelOptions, ModelResult
 from .model.evaluate import evaluate as _model_evaluate
 from .params import SystemParameters
-from .recovery.restore import RecoveryResult
+from .sim.partition import PartitionedSystem
 from .sim.system import (
     SimulatedSystem,
     SimulationConfig,
@@ -75,7 +75,11 @@ class SimulationOutcome:
 
     config: SimulationConfig
     metrics: SimulationMetrics
-    recovery: Optional[RecoveryResult] = None
+    #: single-engine runs carry a :class:`RecoveryResult`; partitioned
+    #: runs (``config.partitions > 1``) a
+    #: :class:`~repro.recovery.parallel.ParallelRecoveryResult` (same
+    #: ``total_time`` / replay-count surface, plus the worker schedule)
+    recovery: Optional[Any] = None
     #: :class:`~repro.sim.oracle.RecordMismatch` entries (record id
     #: plus expected/recovered values); empty list = recovery verified
     mismatches: Optional[List[Any]] = None
@@ -184,7 +188,13 @@ def simulate(
             "pass configuration either as config= or as keyword overrides, "
             f"not both (got {sorted(config_overrides)!r})")
 
-    system = SimulatedSystem(config)
+    # N=1 takes the original single-engine path -- not a one-shard
+    # PartitionedSystem -- so fixed-seed runs stay bit-identical to the
+    # pre-partitioning engine.
+    if config.partitions > 1:
+        system: Any = PartitionedSystem(config)
+    else:
+        system = SimulatedSystem(config)
     crashed_by_fault = False
     try:
         if warmup > 0:
@@ -196,7 +206,7 @@ def simulate(
         # what completed before the lights went out.
         crashed_by_fault = True
         metrics = system.metrics()
-    recovery: Optional[RecoveryResult] = None
+    recovery: Optional[Any] = None
     mismatches: Optional[List[Any]] = None
     if crash or crashed_by_fault:
         system.crash()

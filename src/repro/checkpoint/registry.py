@@ -7,7 +7,10 @@ The six algorithms of the paper come first; three extensions follow:
 * ``NAIVELOCK`` -- the lock-everything strawman of Section 3.2.1,
   implemented so its "unacceptably frequent and long lock delays" can be
   measured instead of assumed (simulation only; not in the analytic
-  model).
+  model);
+* ``ZIGZAG`` / ``PINGPONG`` -- post-1989 dual-copy consistent-snapshot
+  algorithms (Cao et al.'s comparative study), included so the paper's
+  cost model extends past its own algorithm set (simulation only).
 
 Registration is decorator-based (:mod:`repro.checkpoint.registration`):
 every class above carries ``@register_checkpointer(category=...)`` at its
@@ -28,6 +31,7 @@ from .action_consistent import (
     ActionConsistentFlushCheckpointer,
 )
 from .base import BaseCheckpointer
+from .consistent_snapshot import PingPongCheckpointer, ZigzagCheckpointer
 from .copy_on_update import COUCopyCheckpointer, COUFlushCheckpointer
 from .fuzzy import FastFuzzyCheckpointer, FuzzyCopyCheckpointer
 from .naive import NaiveLockCheckpointer
@@ -55,6 +59,8 @@ EXTENSION_NAMES = (
     ActionConsistentFlushCheckpointer.name,
     ActionConsistentCopyCheckpointer.name,
     NaiveLockCheckpointer.name,
+    ZigzagCheckpointer.name,
+    PingPongCheckpointer.name,
 )
 
 #: Every built-in algorithm (out-of-tree registrations are enumerable

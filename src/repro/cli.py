@@ -169,7 +169,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("which", nargs="?", default="all",
-                         choices=["4a", "4b", "4c", "4d", "4e", "all"])
+                         choices=["4a", "4b", "4c", "4d", "4e", "all",
+                                  "recovery-scaling"])
     figures.add_argument("--plot", action="store_true",
                          help="render ASCII plots where the figure is a "
                               "curve family")
@@ -206,6 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--storage-dir", default=None, metavar="DIR",
                      help="directory for the file backend's image files "
                           "(default: a fresh temporary directory)")
+    sim.add_argument("--partitions", type=int, default=1,
+                     help="hash-partition the segment space into N "
+                          "independent shards, each with its own "
+                          "checkpointer and WAL stream (default: 1, the "
+                          "paper's single-engine configuration)")
+    sim.add_argument("--partition-policy", default="coordinated",
+                     choices=["coordinated", "staggered"],
+                     help="per-partition checkpoint phasing (staggered "
+                          "offsets shard i by i/N of the interval)")
+    sim.add_argument("--recovery-workers", type=int, default=1,
+                     help="simulated concurrent REDO workers replaying "
+                          "the per-partition log streams after a crash")
     _add_workload_flags(sim)
 
     val = sub.add_parser("validate", help="model-vs-testbed comparison")
@@ -478,9 +491,11 @@ def _cmd_tables(_args: argparse.Namespace) -> str:
 
 
 def _cmd_figures(args: argparse.Namespace) -> str:
-    from .experiments import fig4a, fig4b, fig4c, fig4d, fig4e
+    from .experiments import fig4a, fig4b, fig4c, fig4d, fig4e, recovery_scaling
     trace = _command_trace(args, "figures")
     runner = _sweep_runner(args, trace=trace)
+    # "all" means the paper's figures; the partitioned recovery-scaling
+    # extension runs only when asked for by name.
     chosen = (["4a", "4b", "4c", "4d", "4e"] if args.which == "all"
               else [args.which])
     blocks = []
@@ -489,6 +504,8 @@ def _cmd_figures(args: argparse.Namespace) -> str:
             blocks.append(fig4b.render(runner=runner))
         elif name == "4c":
             blocks.append(fig4c.render(runner=runner))
+        elif name == "recovery-scaling":
+            blocks.append(recovery_scaling.render())
         else:
             module = {"4a": fig4a, "4d": fig4d, "4e": fig4e}[name]
             blocks.append(module.render())
@@ -601,18 +618,32 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
     config_kwargs: Dict[str, Any] = {}
     if workload is not None:
         config_kwargs["workload"] = workload
-    system = SimulatedSystem(SimulationConfig(
+    config = SimulationConfig(
         params=params, algorithm=args.algorithm, seed=args.seed,
         policy=CheckpointPolicy(interval=args.interval),
         preload_backup=True,
         storage_backend=args.storage_backend,
         storage_dir=args.storage_dir,
-        **config_kwargs))
+        partitions=args.partitions,
+        partition_policy=args.partition_policy,
+        recovery_workers=args.recovery_workers,
+        **config_kwargs)
+    if config.partitions > 1:
+        from .sim.partition import PartitionedSystem
+        system: Any = PartitionedSystem(config)
+    else:
+        # N=1 keeps the exact single-engine code path (bit-identical
+        # to a run without any partition flags).
+        system = SimulatedSystem(config)
     metrics = system.run(args.duration)
     lines = [
         f"{args.algorithm} on a {params.n_segments}-segment database "
         f"({args.duration:.1f}s simulated, seed {args.seed})",
     ]
+    if config.partitions > 1:
+        lines.append(
+            f"  partitions           {config.partitions} "
+            f"({config.partition_policy} checkpoints)")
     if workload is not None:
         lines.append(f"  workload             {workload.describe()}")
         lines.append(f"  offered/served       {metrics.offered_rate:.1f} / "
@@ -631,10 +662,19 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         system.crash()
         result = system.recover()
         mismatches = system.verify_recovery()
-        lines.append(
-            f"  crash+recover        checkpoint {result.used_checkpoint_id}, "
-            f"{result.transactions_replayed} txns replayed, "
-            f"{result.total_time:.2f}s modelled")
+        if config.partitions > 1:
+            lines.append(
+                f"  crash+recover        {result.partitions} partitions on "
+                f"{result.workers} workers, "
+                f"{result.transactions_replayed} txns replayed, "
+                f"{result.total_time:.2f}s makespan "
+                f"({result.speedup:.2f}x vs sequential)")
+        else:
+            lines.append(
+                f"  crash+recover        checkpoint "
+                f"{result.used_checkpoint_id}, "
+                f"{result.transactions_replayed} txns replayed, "
+                f"{result.total_time:.2f}s modelled")
         lines.append(
             "  oracle               "
             + ("PASS" if not mismatches else f"FAIL {mismatches}"))

@@ -18,6 +18,8 @@ and transaction processing; this subsystem is the measuring equipment.
 * :mod:`repro.obs.attribution` -- the stall-attribution pass joining
   transaction spans against overlapping checkpoint spans (the
   ``repro trace --attribution`` output);
+* :mod:`repro.obs.partition` -- partition-aware joins: span tagging by
+  ``ckpt.partition``, per-shard telemetry merging, replay-rate gauges;
 * :mod:`repro.obs.presets` -- named scenarios for the CLI and CI.
 
 See ``docs/OBSERVABILITY.md`` for the metric catalog and event schema.
@@ -37,6 +39,13 @@ from .metrics import (
     MetricsRegistry,
     Timeline,
 )
+from .partition import (
+    PARTITION_FIELD,
+    merge_partition_spans,
+    merge_partition_telemetry,
+    record_replay_rates,
+    tag_spans_with_partition,
+)
 from .report import render_merged_sweep_telemetry, render_metrics_report
 from .spans import NULL_SPANS, SpanRecorder, chrome_trace
 from .telemetry import NULL_TELEMETRY, Telemetry
@@ -54,6 +63,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPANS",
     "NULL_TELEMETRY",
+    "PARTITION_FIELD",
     "RunRecord",
     "SpanRecorder",
     "Telemetry",
@@ -65,7 +75,11 @@ __all__ = [
     "export_system_run",
     "latency_timeline",
     "load_run",
+    "merge_partition_spans",
+    "merge_partition_telemetry",
+    "record_replay_rates",
     "render_attribution",
     "render_merged_sweep_telemetry",
     "render_metrics_report",
+    "tag_spans_with_partition",
 ]

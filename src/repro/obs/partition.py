@@ -1,0 +1,81 @@
+"""Partition-aware observability helpers.
+
+A partitioned system runs N independent shards, each with its own
+telemetry registry and span recorder.  This module is the join layer:
+it stamps every shard-local span with its partition index (so a merged
+trace can be grouped by ``ckpt.partition`` the way single-partition
+traces group by checkpoint id), merges the per-shard metric registries
+into one snapshot, and records the per-partition replay rates of a
+parallel recovery as gauges.
+
+Everything here is pure post-processing over snapshots -- like the rest
+of ``repro.obs`` it never feeds back into the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+
+#: The span/gauge field naming the owning partition.
+PARTITION_FIELD = "ckpt.partition"
+
+
+def tag_spans_with_partition(
+    spans: Sequence[Dict[str, Any]], partition: int
+) -> List[Dict[str, Any]]:
+    """Return copies of ``spans`` whose fields name their partition.
+
+    Span handles are integers local to one recorder, so parent links
+    stay valid within the shard's own span list; only the ``fields``
+    dict is rewritten (copied, never mutated in place -- snapshots may
+    be shared).
+    """
+    tagged = []
+    for span in spans:
+        fields = dict(span.get("fields") or {})
+        fields[PARTITION_FIELD] = partition
+        tagged.append({**span, "fields": fields})
+    return tagged
+
+
+def merge_partition_spans(
+    shard_spans: Sequence[Sequence[Dict[str, Any]]],
+) -> List[Dict[str, Any]]:
+    """One combined span list, every span tagged with its partition.
+
+    Ordered by partition then by each shard's own recording order, so
+    the merge is deterministic and per-shard parent links (which are
+    indices into the shard's own list) remain resolvable per partition
+    group.
+    """
+    merged: List[Dict[str, Any]] = []
+    for partition, spans in enumerate(shard_spans):
+        merged.extend(tag_spans_with_partition(spans, partition))
+    return merged
+
+
+def merge_partition_telemetry(
+    snapshots: Sequence[Optional[Dict[str, Any]]],
+) -> Optional[Dict[str, Any]]:
+    """Merge per-shard telemetry snapshots into one system-wide snapshot.
+
+    Counters and histograms add, gauges keep the last shard's value,
+    timelines concatenate -- the :meth:`MetricsRegistry.merge_snapshots`
+    semantics already used by the sweep runner.  Returns ``None`` when
+    every shard ran with telemetry disabled.
+    """
+    live = [snap for snap in snapshots if snap is not None]
+    if not live:
+        return None
+    return MetricsRegistry.merge_snapshots(live).snapshot()
+
+
+def record_replay_rates(
+    registry: MetricsRegistry, rates: Dict[int, float]
+) -> None:
+    """Gauge each partition's REDO replay rate (updates/second)."""
+    for partition in sorted(rates):
+        registry.set_gauge(
+            f"recovery.partition.{partition}.replay_rate", rates[partition])

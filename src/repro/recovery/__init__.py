@@ -8,13 +8,21 @@ checkpointer's only influence on this path is how much log there is to
 read -- which is exactly the recovery-time model of Section 4.
 """
 
+from .parallel import (
+    ParallelRecoveryResult,
+    PartitionRecovery,
+    schedule_recovery,
+)
 from .replay import RedoApplier, ReplayCounts, replay_records
 from .restore import RecoveryManager, RecoveryResult
 
 __all__ = [
+    "ParallelRecoveryResult",
+    "PartitionRecovery",
     "RecoveryManager",
     "RecoveryResult",
     "RedoApplier",
     "ReplayCounts",
     "replay_records",
+    "schedule_recovery",
 ]

@@ -202,3 +202,90 @@ class TestSchemaCheckerAgainst:
         broken["results"]["recovery_replay"]["verified"] = False
         doc.write_text(json.dumps(broken))
         assert checker.main(["prog", str(doc)]) == 1
+
+
+class TestAllFailuresReported:
+    """One invocation reports EVERY failure, never just the first.
+
+    The gate's whole value is the full damage report: a checker that
+    stops at the first regressed metric turns a three-metric regression
+    into three CI round-trips.
+    """
+
+    def test_compare_report_names_every_regressed_metric(self):
+        # Three independent drops -> all three named in report AND list.
+        current = _payload()
+        current["results"]["engine_events"]["events_per_second"] *= 0.1
+        current["results"]["simulated_txns"]["txns_per_second"] *= 0.1
+        current["results"]["sweep_wall_clock"]["cells_per_second"] *= 0.1
+        report, regressions = compare_bench(_payload(), current)
+        assert len(regressions) == 3
+        for name in ("engine_events.events_per_second",
+                     "simulated_txns.txns_per_second",
+                     "sweep_wall_clock.cells_per_second"):
+            assert any(name in entry for entry in regressions)
+            assert name in report
+
+    def test_cli_compare_output_names_every_regressed_metric(
+            self, tmp_path, capsys):
+        from repro.cli import main
+        knob_payload = _payload()
+        knob_payload["results"]["simulated_txns"]["txns_per_second"] *= 0.1
+        knob_payload["results"]["recovery_replay"][
+            "replayed_per_second"] *= 0.1
+
+        def fake_run_harness(quick=False, pr=None, repeats=None, workers=1):
+            return knob_payload
+
+        import repro.bench
+        import unittest.mock
+        baseline = tmp_path / "BENCH_7.json"
+        baseline.write_text(json.dumps(_payload(pr=7)))
+        with unittest.mock.patch.object(repro.bench, "run_harness",
+                                        fake_run_harness):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["bench", "--quick", "--out", str(tmp_path / "b.json"),
+                      "--compare", str(baseline)])
+        assert excinfo.value.code == 1
+        out = capsys.readouterr().out
+        assert "simulated_txns.txns_per_second" in out
+        assert "recovery_replay.replayed_per_second" in out
+
+    def test_checker_reports_structural_and_regression_together(
+            self, tmp_path, capsys):
+        # A document that is BOTH semantically broken (zero rate,
+        # unverified recovery) and regressed must surface all three
+        # failure classes from the one run -- the --against compare must
+        # not be short-circuited by the validation errors.
+        checker = TestSchemaCheckerAgainst._checker()
+        doc_payload = _payload(scale=0.3)  # regressed across the board
+        doc_payload["results"]["engine_events"]["events_per_second"] = 0.0
+        doc_payload["results"]["recovery_replay"]["verified"] = False
+        doc = tmp_path / "BENCH_8.json"
+        base = tmp_path / "BENCH_7.json"
+        doc.write_text(json.dumps(doc_payload))
+        base.write_text(json.dumps(_payload(pr=7)))
+        assert checker.main(["prog", str(doc),
+                             "--against", str(base)]) == 1
+        captured = capsys.readouterr()
+        assert "rate must be > 0" in captured.err
+        assert "not oracle-verified" in captured.err
+        assert "REGRESSION" in captured.out
+        # every rate dropped 70%: each gated metric is in the compare
+        # report, not just the first
+        assert "simulated_txns.txns_per_second" in captured.out
+        assert "sweep_wall_clock.cells_per_second" in captured.out
+
+    def test_checker_regression_only_still_reported(self, tmp_path, capsys):
+        # A structurally clean document must still run (and fail) the
+        # baseline compare.
+        checker = TestSchemaCheckerAgainst._checker()
+        doc = tmp_path / "BENCH_8.json"
+        base = tmp_path / "BENCH_7.json"
+        doc.write_text(json.dumps(_payload(scale=0.3)))
+        base.write_text(json.dumps(_payload(pr=7)))
+        assert checker.main(["prog", str(doc),
+                             "--against", str(base)]) == 1
+        captured = capsys.readouterr()
+        assert "satisfies" in captured.out
+        assert "REGRESSION" in captured.out

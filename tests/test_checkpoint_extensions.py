@@ -25,7 +25,8 @@ class TestRegistryExtensions:
         }
 
     def test_extension_names(self):
-        assert set(EXTENSION_NAMES) == {"ACFLUSH", "ACCOPY", "NAIVELOCK"}
+        assert set(EXTENSION_NAMES) == {"ACFLUSH", "ACCOPY", "NAIVELOCK",
+                                        "ZIGZAG", "PINGPONG"}
         assert set(ALL_ALGORITHM_NAMES) == (set(ALGORITHM_NAMES)
                                             | set(EXTENSION_NAMES))
 

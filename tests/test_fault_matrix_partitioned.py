@@ -1,0 +1,95 @@
+"""The partitioned axis of the seeded crash matrix.
+
+Joins the ``-m faultmatrix`` CI job: for a representative algorithm
+slice, crash at each checkpoint phase (begin / mid-sweep / end) in a
+*single* partition and in *all* partitions at once, then recover over
+the parallel REDO path and hold the recovered state to every shard's
+oracle.  ``fault_mode="one"`` is the single-failure-domain cell: one
+shard hits its trigger and takes the machine down while the others die
+innocent mid-flight.  ``fault_mode="all"`` arms every shard and lets
+the earliest trigger define the crash instant.
+
+Fast marker-free smoke coverage of the same path lives in
+``test_partition_differential.py``; these cells are the heavy sweep.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.matrix import (
+    PARTITION_FAULT_MODES,
+    partitioned_matrix_points,
+    phase_crash_plans,
+    run_partitioned_fault_cell,
+)
+
+#: One fuzzy, one black/white, one COU, and both modern snapshot
+#: plugins -- a family-spanning slice (the full product would be slow).
+MATRIX_ALGORITHMS = ["FUZZYCOPY", "2CCOPY", "COUCOPY", "ZIGZAG", "PINGPONG"]
+PHASE_PLANS = phase_crash_plans(seed=0)
+
+
+@pytest.mark.faultmatrix
+class TestPartitionedCrashMatrix:
+    """(algorithm x phase x one/all) cells; each must recover exactly."""
+
+    @pytest.mark.parametrize("fault_mode", PARTITION_FAULT_MODES)
+    @pytest.mark.parametrize("plan", PHASE_PLANS,
+                             ids=[p.describe() for p in PHASE_PLANS])
+    @pytest.mark.parametrize("algorithm", MATRIX_ALGORITHMS)
+    def test_cell_recovers_exactly(self, algorithm, plan, fault_mode):
+        report = run_partitioned_fault_cell(
+            algorithm=algorithm, plan=plan.to_dict(), fault_mode=fault_mode,
+            partitions=4, recovery_workers=2, scale=4096, duration=6.0,
+            seed=13)
+        assert report["ok"], (
+            f"{algorithm} lost data under [{plan.describe()}] "
+            f"(fault_mode={fault_mode}): {report['mismatches']}")
+        assert report["partitions"] == 4
+
+    def test_matrix_covers_both_modes_and_all_phases(self):
+        points = partitioned_matrix_points(MATRIX_ALGORITHMS, PHASE_PLANS)
+        assert len(points) == len(MATRIX_ALGORITHMS) * len(PHASE_PLANS) * 2
+        modes = {p["fault_mode"] for p in points}
+        assert modes == set(PARTITION_FAULT_MODES)
+
+    def test_single_partition_faults_trigger(self):
+        # The armed shard's trigger must actually fire: a cell that never
+        # crashes by injection is testing the clean-shutdown path instead.
+        report = run_partitioned_fault_cell(
+            algorithm="COUCOPY", plan=PHASE_PLANS[0].to_dict(),
+            fault_mode="one", scale=4096, duration=6.0, seed=13)
+        assert report["crashed_by_fault"]
+        assert report["crash_trigger"] == "phase:begin"
+
+    def test_parallel_recovery_beats_sequential(self):
+        report = run_partitioned_fault_cell(
+            algorithm="FUZZYCOPY", plan=PHASE_PLANS[1].to_dict(),
+            fault_mode="all", partitions=4, recovery_workers=4,
+            scale=4096, duration=6.0, seed=13)
+        assert report["ok"]
+        assert report["recovery_makespan"] <= report["recovery_sequential"]
+        assert report["recovery_speedup"] >= 1.0
+
+    def test_fixed_seed_reruns_are_byte_identical(self):
+        plan = PHASE_PLANS[2].to_dict()
+        first = run_partitioned_fault_cell(
+            algorithm="2CCOPY", plan=plan, fault_mode="all",
+            scale=4096, duration=6.0, seed=13)
+        second = run_partitioned_fault_cell(
+            algorithm="2CCOPY", plan=plan, fault_mode="all",
+            scale=4096, duration=6.0, seed=13)
+        assert (json.dumps(first, sort_keys=True)
+                == json.dumps(second, sort_keys=True))
+
+    def test_invalid_fault_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_partitioned_fault_cell(
+                algorithm="COUCOPY", plan=PHASE_PLANS[0].to_dict(),
+                fault_mode="some")
+        with pytest.raises(ValueError):
+            partitioned_matrix_points(["COUCOPY"], PHASE_PLANS,
+                                      modes=("one", "several"))

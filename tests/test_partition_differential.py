@@ -1,0 +1,229 @@
+"""Differential harness for the partitioned engine.
+
+Two guarantees anchor :class:`repro.sim.partition.PartitionedSystem`:
+
+1. **N=1 is the old engine, bit for bit.**  A single-shard partitioned
+   run must produce *byte-identical* metrics and recovery outcomes to
+   the unpartitioned :class:`~repro.sim.system.SimulatedSystem` on the
+   same seed -- compared here through ``asdict`` + JSON serialisation,
+   not approximate equality, for COUCOPY, FUZZYCOPY, and 2CCOPY.
+2. **N>1 never loses a committed update.**  Whatever the partition
+   count, phasing policy, or algorithm family, the recovered database
+   must match every shard's committed-state oracle record for record.
+
+Plus the parallel-REDO scheduler's contract: LPT makespans are
+deterministic, non-increasing in the worker count, and collapse to the
+sequential sum at one worker.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.api import simulate
+from repro.checkpoint.registry import ALL_ALGORITHM_NAMES
+from repro.checkpoint.scheduler import CheckpointPolicy
+from repro.errors import ConfigurationError
+from repro.params import SystemParameters
+from repro.recovery.parallel import schedule_recovery
+from repro.recovery.restore import RecoveryResult
+from repro.sim.partition import PartitionedSystem, shard_config, shard_seed
+from repro.sim.system import SimulatedSystem, SimulationConfig
+
+#: The bit-identity algorithms the acceptance criteria name.
+IDENTITY_ALGORITHMS = ["COUCOPY", "FUZZYCOPY", "2CCOPY"]
+SEEDS = [3, 17]
+
+
+def _metrics_bytes(metrics) -> bytes:
+    """Canonical byte rendering of a SimulationMetrics (exact compare)."""
+    return json.dumps(asdict(metrics), sort_keys=True).encode()
+
+
+def _config(params: SystemParameters, algorithm: str, seed: int,
+            **overrides) -> SimulationConfig:
+    return SimulationConfig(
+        params=params, algorithm=algorithm, seed=seed,
+        policy=CheckpointPolicy(interval=0.05), preload_backup=True,
+        **overrides)
+
+
+class TestSinglePartitionIdentity:
+    """N=1 partitioned == unpartitioned, to the byte."""
+
+    @pytest.mark.parametrize("algorithm", IDENTITY_ALGORITHMS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_metrics_and_recovery_bit_identical(self, tiny_params,
+                                                algorithm, seed):
+        base = SimulatedSystem(_config(tiny_params, algorithm, seed))
+        part = PartitionedSystem(
+            _config(tiny_params, algorithm, seed, partitions=1))
+        metrics_base = base.run(2.0)
+        metrics_part = part.run(2.0)
+        assert _metrics_bytes(metrics_base) == _metrics_bytes(metrics_part)
+        base.crash()
+        part.crash()
+        recovery_base = base.recover()
+        recovery_part = part.recover()
+        # The one shard's job is the unpartitioned recovery, field for field.
+        assert recovery_part.partitions == 1
+        assert recovery_part.jobs[0].result == recovery_base
+        assert recovery_part.total_time == recovery_base.total_time
+        assert base.verify_recovery() == []
+        assert part.verify_recovery() == []
+        # The recovered databases themselves agree everywhere.
+        assert base.database.equals_values(
+            part.shards[0].database.values_snapshot())
+
+    @pytest.mark.parametrize("algorithm", IDENTITY_ALGORITHMS)
+    def test_api_n1_flag_changes_nothing(self, algorithm):
+        plain = simulate(algorithm, scale=1024, duration=1.5, seed=7,
+                         crash=True)
+        flagged = simulate(algorithm, scale=1024, duration=1.5, seed=7,
+                           crash=True, partitions=1)
+        assert _metrics_bytes(plain.metrics) == _metrics_bytes(flagged.metrics)
+        assert plain.recovery == flagged.recovery
+        assert plain.mismatches == flagged.mismatches == []
+
+    def test_shard_config_n1_is_the_original(self, tiny_params):
+        config = _config(tiny_params, "COUCOPY", 5, partitions=1)
+        assert shard_config(config, 0) == config
+        assert shard_seed(5, 0, 1) == 5
+
+
+class TestShardDerivation:
+    def test_shard_params_split_database_and_load(self, tiny_params):
+        config = _config(tiny_params, "COUCOPY", 0, partitions=4)
+        shard = shard_config(config, 1)
+        assert shard.params.s_db == tiny_params.s_db // 4
+        assert shard.params.lam == pytest.approx(tiny_params.lam / 4)
+        assert shard.partitions == 1
+        assert shard.seed != config.seed
+
+    def test_shard_seeds_distinct(self):
+        seeds = {shard_seed(7, p, 8) for p in range(8)}
+        assert len(seeds) == 8
+
+    def test_staggered_policy_offsets_initial_delay(self, tiny_params):
+        config = _config(tiny_params, "COUCOPY", 0, partitions=4,
+                         partition_policy="staggered")
+        delays = [shard_config(config, p).policy.initial_delay
+                  for p in range(4)]
+        assert delays == sorted(delays)
+        assert len(set(delays)) == 4
+        interval = config.policy.interval
+        assert delays[1] - delays[0] == pytest.approx(interval / 4)
+
+    def test_partitions_must_divide_segments(self, tiny_params):
+        with pytest.raises(ConfigurationError):
+            _config(tiny_params, "COUCOPY", 0, partitions=3)  # 16 % 3 != 0
+
+    def test_invalid_partition_policy_rejected(self, tiny_params):
+        with pytest.raises(ConfigurationError):
+            _config(tiny_params, "COUCOPY", 0, partition_policy="anarchic")
+
+
+class TestPartitionedRecoveryOracle:
+    """N>1 crash recovery is exact for every algorithm family."""
+
+    @pytest.mark.parametrize("algorithm", list(ALL_ALGORITHM_NAMES))
+    def test_every_family_recovers_exactly(self, algorithm):
+        stable_tail = algorithm == "FASTFUZZY"
+        outcome = simulate(
+            algorithm, scale=1024, duration=1.5, seed=11, crash=True,
+            stable_tail=stable_tail, partitions=4, recovery_workers=2)
+        assert outcome.mismatches == []
+        assert outcome.recovery.partitions == 4
+        assert outcome.recovery.workers == 2
+
+    @pytest.mark.parametrize("policy", ["coordinated", "staggered"])
+    def test_both_phasing_policies_recover(self, policy):
+        outcome = simulate(
+            "COUCOPY", scale=1024, duration=1.5, seed=13, crash=True,
+            partitions=4, partition_policy=policy)
+        assert outcome.mismatches == []
+
+    def test_partitioned_metrics_aggregate(self, tiny_params):
+        part = PartitionedSystem(
+            _config(tiny_params, "FUZZYCOPY", 3, partitions=4))
+        metrics = part.run(2.0)
+        per_shard = [shard.metrics() for shard in part.shards]
+        assert metrics.transactions_committed == sum(
+            m.transactions_committed for m in per_shard)
+        assert metrics.checkpoints_completed == sum(
+            m.checkpoints_completed for m in per_shard)
+        assert metrics.words_written_to_backup == sum(
+            m.words_written_to_backup for m in per_shard)
+        assert metrics.offered_rate == pytest.approx(
+            sum(m.offered_rate for m in per_shard))
+
+
+def _job(partition: int, seconds: float) -> RecoveryResult:
+    """A recovery job whose total_time is ``seconds`` (log read only)."""
+    return RecoveryResult(
+        used_checkpoint_id=partition, used_image=0, start_lsn=0,
+        records_scanned=0, transactions_replayed=0, updates_applied=0,
+        log_words_read=0, backup_read_time=0.0, log_read_time=seconds)
+
+
+class TestParallelRecoveryScheduling:
+    DURATIONS = [5.0, 3.0, 2.0, 2.0, 1.0, 1.0, 0.5, 0.5]
+
+    def _results(self):
+        return [_job(i, d) for i, d in enumerate(self.DURATIONS)]
+
+    def test_one_worker_is_sequential(self):
+        schedule = schedule_recovery(self._results(), 1)
+        assert schedule.total_time == pytest.approx(sum(self.DURATIONS))
+        assert schedule.speedup == pytest.approx(1.0)
+
+    def test_makespan_non_increasing_in_workers(self):
+        times = [schedule_recovery(self._results(), w).total_time
+                 for w in (1, 2, 3, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+
+    def test_enough_workers_hit_longest_job(self):
+        schedule = schedule_recovery(self._results(), len(self.DURATIONS))
+        assert schedule.total_time == pytest.approx(max(self.DURATIONS))
+
+    def test_placement_is_deterministic(self):
+        first = schedule_recovery(self._results(), 3)
+        second = schedule_recovery(self._results(), 3)
+        assert first == second
+
+    def test_jobs_keep_partition_order(self):
+        schedule = schedule_recovery(self._results(), 2)
+        assert [job.partition for job in schedule.jobs] == list(
+            range(len(self.DURATIONS)))
+
+    def test_aggregates_sum_over_partitions(self):
+        results = [replace(_job(i, 1.0), updates_applied=10 * (i + 1),
+                           transactions_replayed=i + 1)
+                   for i in range(3)]
+        schedule = schedule_recovery(results, 2)
+        assert schedule.updates_applied == 60
+        assert schedule.transactions_replayed == 6
+        rates = schedule.per_partition_replay_rates()
+        assert rates[2] == pytest.approx(30.0)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schedule_recovery(self._results(), 0)
+
+
+class TestRecoveryScalingFigure:
+    """The Fig-4a-style sweep's acceptance shape, at test scale."""
+
+    def test_recovery_time_decreases_with_workers(self):
+        from repro.experiments.recovery_scaling import recovery_scaling
+        points = recovery_scaling(
+            ["FUZZYCOPY"], partitions=4, workers=(1, 2, 4),
+            scale=1024, duration=1.5, seed=11)
+        (point,) = points
+        times = [point.recovery_times[w] for w in (1, 2, 4)]
+        assert times == sorted(times, reverse=True)
+        assert times[-1] < times[0]
+        assert point.speedup(4) > 1.0
