@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Enforce the architecture's layering rules (docs/ARCHITECTURE.md).
 
-Two checks, stdlib-only so CI needs nothing installed:
+Three checks, stdlib-only so CI needs nothing installed:
 
 1. **Engine isolation** -- the engine-layer modules of ``repro.sim``
    must not import any component or kernel package. They are the
@@ -9,7 +9,15 @@ Two checks, stdlib-only so CI needs nothing installed:
    say, ``repro.checkpoint`` from ``repro.sim.engine`` would recreate
    the cycle the componentization removed.
 
-2. **No tracked bytecode** -- ``*.pyc`` files and ``__pycache__``
+2. **Host purity** -- no module under ``repro/sim/`` may import
+   ``time``, ``threading``, or anything from ``repro.live``. The
+   simulated host's determinism guarantee (fixed seed = bit-identical
+   results) rests on simulated time being the *only* time; a stray
+   ``time.monotonic()`` or a thread inside the simulation would break
+   it silently. Wall-clock code lives exclusively in ``repro/live/``,
+   behind the ports declared in ``repro/sim/ports.py``.
+
+3. **No tracked bytecode** -- ``*.pyc`` files and ``__pycache__``
    directories must never be committed.
 
 Exit status 0 = clean, 1 = violations (printed one per line).
@@ -88,6 +96,48 @@ def check_engine_isolation() -> list[str]:
     return violations
 
 
+#: modules forbidden in every ``repro/sim/`` file: real time, real
+#: threads, and the wall-clock host package itself
+SIM_FORBIDDEN_MODULES = {"time", "threading"}
+SIM_FORBIDDEN_PACKAGE = "repro.live"
+
+
+def _imported_module_names(path: Path):
+    """Yield (lineno, top-level-module-or-dotted-target) for all imports."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = ("repro.sim", "repro")[min(node.level, 2) - 1]
+                module = f"{base}.{node.module}" if node.module else base
+                yield node.lineno, module
+            elif node.module:
+                yield node.lineno, node.module
+
+
+def check_host_purity() -> list[str]:
+    violations = []
+    for path in sorted(SIM_DIR.glob("*.py")):
+        for lineno, target in _imported_module_names(path):
+            top = target.split(".")[0]
+            rel = path.relative_to(REPO_ROOT)
+            if top in SIM_FORBIDDEN_MODULES:
+                violations.append(
+                    f"{rel}:{lineno}: simulation module imports {top} "
+                    "(simulated time must be the only time; wall-clock "
+                    "code belongs in repro/live/)")
+            elif (target == SIM_FORBIDDEN_PACKAGE
+                  or target.startswith(SIM_FORBIDDEN_PACKAGE + ".")):
+                violations.append(
+                    f"{rel}:{lineno}: simulation module imports {target} "
+                    "(the sim host must not depend on the live host; "
+                    "both plug into repro/sim/ports.py)")
+    return violations
+
+
 def check_no_tracked_bytecode() -> list[str]:
     proc = subprocess.run(
         ["git", "ls-files", "*.pyc", "*__pycache__*"],
@@ -97,13 +147,15 @@ def check_no_tracked_bytecode() -> list[str]:
 
 
 def main() -> int:
-    violations = check_engine_isolation() + check_no_tracked_bytecode()
+    violations = (check_engine_isolation() + check_host_purity()
+                  + check_no_tracked_bytecode())
     for violation in violations:
         print(violation)
     if violations:
         print(f"{len(violations)} layering violation(s)", file=sys.stderr)
         return 1
-    print("layering clean: engine isolated, no tracked bytecode")
+    print("layering clean: engine isolated, sim host pure, "
+          "no tracked bytecode")
     return 0
 
 

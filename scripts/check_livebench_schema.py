@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a ``repro live-bench`` report against
+``schemas/livebench.schema.json``.
+
+Stdlib-only (the validator is the subset checker from
+``check_metrics_schema.py``)::
+
+    python scripts/check_livebench_schema.py report.json
+    repro live-bench ... | python scripts/check_livebench_schema.py -
+
+Beyond the structural check, the crash verdict is semantically gated:
+if the run killed the server, it must report zero oracle mismatches,
+``consistent: true``, and every shadow record verified -- a live-bench
+report that admits losing acknowledged data is a failing measurement
+regardless of its latency numbers.  Latency percentiles must be
+monotone (p50 <= p95 <= p99 <= max) and nothing may be negative.
+
+Exit code 0 means valid; 1 means invalid (all violations are reported
+in one pass); 2 means the inputs could not be read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any, List
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(_HERE)
+sys.path.insert(0, _HERE)                      # check_metrics_schema
+
+from check_metrics_schema import validate  # noqa: E402
+
+SCHEMA_PATH = os.path.join(_REPO, "schemas", "livebench.schema.json")
+
+
+def _load(source: str):
+    if source == "-":
+        return json.load(sys.stdin)
+    with open(source, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_semantics(payload: Any) -> List[str]:
+    """Violations the structural schema cannot express."""
+    errors: List[str] = []
+    latency = payload.get("latency")
+    if isinstance(latency, dict):
+        quantiles = [latency.get(k) for k in ("p50", "p95", "p99", "max")]
+        if all(isinstance(q, (int, float)) for q in quantiles):
+            if any(q < 0 for q in quantiles):
+                errors.append("$.latency: negative latency reported")
+            ordered = all(a <= b for a, b in zip(quantiles, quantiles[1:]))
+            if not ordered:
+                errors.append(
+                    "$.latency: percentiles must be monotone "
+                    f"(p50<=p95<=p99<=max, got {quantiles})")
+    workload = payload.get("workload")
+    if isinstance(workload, dict):
+        acked = workload.get("acked")
+        offered = workload.get("offered")
+        if (isinstance(acked, int) and isinstance(offered, int)
+                and acked > offered):
+            errors.append("$.workload: acked exceeds offered")
+    crash = payload.get("crash")
+    if isinstance(crash, dict) and crash.get("killed"):
+        if crash.get("oracle_mismatches") != 0:
+            errors.append(
+                "$.crash: the crash-consistency oracle reported "
+                f"{crash.get('oracle_mismatches')} mismatch(es) -- "
+                "acknowledged data was lost")
+        if crash.get("consistent") is not True:
+            errors.append("$.crash: recovery not marked consistent")
+        if crash.get("shadow_verified") != crash.get("shadow_records"):
+            errors.append(
+                "$.crash: only "
+                f"{crash.get('shadow_verified')}/{crash.get('shadow_records')} "
+                "acknowledged writes survived the restart")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) == 1:
+        schema_path, payload_path = SCHEMA_PATH, argv[0]
+    elif len(argv) == 2:
+        schema_path, payload_path = argv
+    else:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        schema = _load(schema_path)
+        payload = _load(payload_path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+    errors = validate(payload, schema) + check_semantics(payload)
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"{len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    name = payload_path if payload_path != "-" else "<stdin>"
+    print(f"{name}: valid live-bench report")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -49,7 +49,7 @@ BENCH_SCHEMA_VERSION = 1
 #: the PR ordinal this tree's ``repro bench`` stamps by default; the
 #: next perf-touching PR bumps it and commits a fresh ``BENCH_<n>.json``
 #: beside the old ones -- that growing series *is* the trajectory.
-CURRENT_PR = 8
+CURRENT_PR = 10
 
 #: the rate metrics ``repro bench --compare`` gates on, as
 #: ``(results section, metric key)`` pairs -- all higher-is-better

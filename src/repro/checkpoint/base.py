@@ -47,7 +47,7 @@ from ..mmdb.segment import Segment
 from ..obs.spans import NULL_SPANS, SpanRecorder
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..params import SystemParameters
-from ..sim.engine import EventEngine
+from ..sim.ports import SchedulerPort
 from ..sim.timestamps import TimestampAuthority
 from ..storage.array import DiskArray
 from ..storage.backup import BackupImage, BackupStore
@@ -148,7 +148,7 @@ class BaseCheckpointer:
         log: LogManager,
         locks: LockManager,
         ledger: CostLedger,
-        engine: EventEngine,
+        engine: SchedulerPort,
         backup: BackupStore,
         array: DiskArray,
         authority: TimestampAuthority,

@@ -22,8 +22,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import ConfigurationError
-from ..sim.engine import EventEngine, EventHandle
-from .base import BaseCheckpointer, CheckpointStats
+from ..sim.ports import SchedulerHandle, SchedulerPort
+from .base import CheckpointStats
 
 
 @dataclass(frozen=True)
@@ -55,14 +55,21 @@ class CheckpointPolicy:
 
 
 class CheckpointScheduler:
-    """Drives a checkpointer according to a :class:`CheckpointPolicy`."""
+    """Drives a checkpointer according to a :class:`CheckpointPolicy`.
 
-    def __init__(self, checkpointer: BaseCheckpointer, engine: EventEngine,
+    Host-agnostic: ``checkpointer`` is anything satisfying
+    :class:`~repro.sim.ports.CheckpointerPort` and ``engine`` anything
+    satisfying :class:`~repro.sim.ports.SchedulerPort`, so the same
+    policy logic paces simulated checkpoints (``EventEngine``) and live
+    wall-clock ones (``LiveScheduler`` driving a ``LiveCheckpointer``).
+    """
+
+    def __init__(self, checkpointer, engine: SchedulerPort,
                  policy: CheckpointPolicy) -> None:
         self.checkpointer = checkpointer
         self.engine = engine
         self.policy = policy
-        self._pending: Optional[EventHandle] = None
+        self._pending: Optional[SchedulerHandle] = None
         self._stopped = False
         checkpointer.on_complete = self._on_checkpoint_complete
 

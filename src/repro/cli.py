@@ -44,6 +44,7 @@ import os
 import sys
 import time
 from dataclasses import asdict
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from .checkpoint.registry import ALGORITHM_NAMES, ALL_ALGORITHM_NAMES
@@ -317,6 +318,61 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FRAC",
                        help="allowed fractional rate drop for --compare "
                             "(default 0.30; CI-noise headroom)")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the live wall-clock service (get/put socket server "
+             "over the durable WAL + checkpoint host)")
+    srv.add_argument("--data-dir", required=True, metavar="DIR",
+                     help="directory for wal.jsonl and checkpoint.npz")
+    srv.add_argument("--port", type=int, default=0,
+                     help="TCP port on 127.0.0.1 (0 = ephemeral; the "
+                          "bound port is announced on the ready line)")
+    srv.add_argument("--scale", type=int, default=2048,
+                     help="database scale-down factor vs the paper")
+    srv.add_argument("--checkpoint-interval", type=float, default=2.0,
+                     help="wall-clock seconds between checkpoint starts")
+    srv.add_argument("--no-checkpoints", action="store_true",
+                     help="disable scheduled checkpoints (explicit "
+                          "'checkpoint' ops still work)")
+    srv.add_argument("--flush-interval", type=float, default=0.005,
+                     help="group-commit period in seconds (commits are "
+                          "acknowledged after the flush+fsync)")
+    srv.add_argument("--no-fsync", action="store_true",
+                     help="skip fsync on WAL flushes (testing only; "
+                          "forfeits the durability guarantee)")
+    srv.add_argument("--check", action="store_true",
+                     help="no server: recover from --data-dir, verify "
+                          "against the committed-state oracle, print the "
+                          "JSON verdict, exit (nonzero on mismatches)")
+
+    lbench = sub.add_parser(
+        "live-bench",
+        help="timed open-system workload against a live server: latency "
+             "percentiles, checkpoint-stall attribution, then SIGKILL "
+             "mid-checkpoint + recovery verification")
+    lbench.add_argument("--duration", type=float, default=3.0,
+                        help="load phase length in wall-clock seconds")
+    lbench.add_argument("--rate", type=float, default=200.0,
+                        help="offered arrival rate, transactions/second")
+    lbench.add_argument("--seed", type=int, default=0,
+                        help="workload seed (same stream as the simulator)")
+    lbench.add_argument("--scale", type=int, default=2048,
+                        help="database scale-down factor vs the paper")
+    lbench.add_argument("--workers", type=int, default=4,
+                        help="client connections submitting arrivals")
+    lbench.add_argument("--checkpoint-interval", type=float, default=1.0,
+                        help="server checkpoint pacing during the load")
+    lbench.add_argument("--no-kill", action="store_true",
+                        help="skip the SIGKILL-mid-checkpoint phase")
+    lbench.add_argument("--hold-phase", default="pre-install",
+                        choices=("pre-install", "post-install"),
+                        help="checkpoint phase boundary to crash inside")
+    lbench.add_argument("--data-dir", default=None, metavar="DIR",
+                        help="server state directory (default: a fresh "
+                             "temp directory, removed afterwards)")
+    lbench.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the JSON report to PATH")
 
     flt = sub.add_parser(
         "faults",
@@ -1112,6 +1168,40 @@ def _workload_sweep(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from .live.server import check, serve
+    if args.check:
+        report = check(args.data_dir, scale=args.scale)
+        if not report["consistent"]:
+            print(json.dumps(report, sort_keys=True, indent=2))
+            raise SystemExit(1)
+        return json.dumps(report, sort_keys=True, indent=2)
+    interval = None if args.no_checkpoints else args.checkpoint_interval
+    serve(args.data_dir, args.port, scale=args.scale,
+          checkpoint_interval=interval,
+          flush_interval=args.flush_interval,
+          fsync=not args.no_fsync)
+    return "server stopped"
+
+
+def _cmd_live_bench(args: argparse.Namespace) -> str:
+    from .live.client import LiveBenchConfig, run_live_bench
+    config = LiveBenchConfig(
+        duration=args.duration, rate=args.rate, seed=args.seed,
+        scale=args.scale, workers=args.workers,
+        checkpoint_interval=args.checkpoint_interval,
+        kill=not args.no_kill, hold_phase=args.hold_phase,
+        data_dir=args.data_dir)
+    report = run_live_bench(config)
+    payload = json.dumps(report, sort_keys=True, indent=2)
+    if args.out:
+        Path(args.out).write_text(payload + "\n")
+    if report["crash"].get("killed") and not report["crash"]["consistent"]:
+        print(payload)
+        raise SystemExit(1)
+    return payload
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "figures": _cmd_figures,
@@ -1125,6 +1215,8 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "live-bench": _cmd_live_bench,
     "faults": _cmd_faults,
     "workload": _cmd_workload,
 }

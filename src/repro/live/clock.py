@@ -1,0 +1,42 @@
+"""Wall-clock time as a :class:`~repro.sim.ports.ClockPort`.
+
+The live host measures time from process start (``time.monotonic()`` at
+construction) so live timestamps look like simulated ones: small floats
+starting near zero.  That keeps span snapshots, attribution, and the
+trace tooling host-agnostic -- nothing downstream needs to know whether
+``now`` came from a heap pop or from the kernel's monotonic counter.
+
+``_now`` is a property alias: the simulation's hot paths read
+``clock._now`` (a bare float there, saving a property hop per event) and
+the same code must run unchanged against this clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["WallClock"]
+
+
+class WallClock:
+    """Monotonic wall-clock seconds since construction."""
+
+    __slots__ = ("_origin",)
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        """Seconds elapsed since the clock was created."""
+        return time.monotonic() - self._origin
+
+    @property
+    def _now(self) -> float:
+        # The simulated clock's hot-path attribute, as a property: the
+        # kernel reads ``clock._now`` on arrival/commit paths and must
+        # see wall time here.
+        return time.monotonic() - self._origin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WallClock(now={self.now:.6f})"

@@ -39,7 +39,14 @@ COMPACT_MIN_BACKLOG = 64
 
 
 class EventEngine:
-    """A discrete-event loop over a shared :class:`Clock`."""
+    """A discrete-event loop over a shared :class:`Clock`.
+
+    Satisfies :class:`repro.sim.ports.SchedulerPort` structurally: it is
+    the *simulated* host's implementation of the time/scheduling seam
+    that :class:`repro.live.scheduler.LiveScheduler` implements on the
+    wall clock.  Kernel components hold one of the two and cannot tell
+    which.
+    """
 
     __slots__ = ("clock", "_heap", "_seq", "_cancelled", "_running",
                  "_dispatched", "compactions")

@@ -52,6 +52,20 @@ class CommittedStateOracle:
     def _apply_delta(self, record_id: int, delta: int) -> None:
         self._expected[record_id] += delta
 
+    def seed_values(self, values: np.ndarray) -> None:
+        """Adopt ``values`` as the base committed state.
+
+        Restart-time hook for the live host: the oracle of a restarted
+        process starts from the durable checkpoint image rather than
+        zeros, then consumes the surviving log via :meth:`feed` exactly
+        as during normal processing.  Only valid before any records have
+        been consumed -- a mid-run reseed would discard history the
+        digest already reflects.
+        """
+        if self.records_consumed:
+            raise ValueError("seed_values() must precede any feed()")
+        self._expected[:] = values
+
     def feed(self, records: Iterable[LogRecord]) -> None:
         """Consume newly-stable log records (in LSN order across calls).
 

@@ -36,16 +36,90 @@ import numpy as np
 __all__ = [
     "BackupTarget",
     "CheckpointerPort",
+    "ClockPort",
     "DISABLED_SPANS",
     "DISABLED_TELEMETRY",
     "FaultHook",
     "LogDevice",
+    "SchedulerHandle",
+    "SchedulerPort",
     "SpanSink",
     "StorageBackend",
     "TelemetrySink",
     "WorkloadSource",
     "missing_methods",
 ]
+
+#: the opaque handle ``schedule_at``/``schedule_after`` return; pass it
+#: back to :meth:`SchedulerPort.cancel`
+SchedulerHandle = int
+
+
+@runtime_checkable
+class ClockPort(Protocol):
+    """Where *now* comes from: the host's notion of time.
+
+    Satisfied by :class:`repro.sim.clock.Clock` (simulated seconds,
+    advanced only by the event engine) and
+    :class:`repro.live.clock.WallClock` (monotonic wall-clock seconds
+    since host start).  Kernel components never read ``time.time()`` or
+    ``time.monotonic()`` directly -- the layering check enforces that for
+    the engine layer -- so the same kernel runs under either host.
+
+    Hot paths additionally read the ``_now`` attribute (a bare float on
+    the simulated clock, a property on the wall clock); both
+    implementations provide it, though it is not part of the formal
+    surface.
+    """
+
+    @property
+    def now(self) -> float:
+        """Current time in seconds (simulated or wall-clock)."""
+        ...
+
+
+@runtime_checkable
+class SchedulerPort(Protocol):
+    """Deferred execution over a :class:`ClockPort`: the host adapter seam.
+
+    This is the *only* way kernel components (transaction manager,
+    checkpointers, checkpoint scheduler, workload-driven arrival loops)
+    ask "what time is it?" or "run this later".  Two hosts satisfy it:
+
+    * :class:`repro.sim.engine.EventEngine` -- the discrete-event loop;
+      ``schedule_after`` pushes a heap entry and time jumps event to
+      event (``SimHost``);
+    * :class:`repro.live.scheduler.LiveScheduler` -- a single dispatcher
+      thread over a monotonic clock; ``schedule_after`` arms a real
+      timer and callbacks execute serially on the dispatcher thread,
+      preserving the engine's one-at-a-time execution model
+      (``LiveHost``).
+
+    ``clock`` exposes the underlying :class:`ClockPort` because a few
+    hot paths read ``clock._now`` directly instead of paying two
+    property hops per event.
+    """
+
+    clock: Any
+
+    @property
+    def now(self) -> float:
+        """Current time in seconds."""
+        ...
+
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    label: str = "") -> SchedulerHandle:
+        """Run ``callback`` at absolute time ``time``; returns a handle."""
+        ...
+
+    def schedule_after(self, delay: float, callback: Callable[[], None],
+                       label: str = "") -> SchedulerHandle:
+        """Run ``callback`` ``delay`` seconds from now; returns a handle."""
+        ...
+
+    def cancel(self, handle: SchedulerHandle) -> None:
+        """Cancel a scheduled callback (idempotent)."""
+        ...
 
 
 @runtime_checkable

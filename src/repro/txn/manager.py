@@ -46,7 +46,7 @@ from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..mmdb.locks import LockManager, LockMode
 from ..mmdb.segment import Segment
 from ..sim.cpu_server import CpuServer
-from ..sim.engine import EventEngine
+from ..sim.ports import SchedulerPort
 from ..sim.timestamps import TimestampAuthority
 from ..wal.log import LogManager
 from .transaction import Transaction, TransactionState
@@ -163,7 +163,7 @@ class TransactionManager:
         log: LogManager,
         locks: LockManager,
         ledger: CostLedger,
-        engine: EventEngine,
+        engine: SchedulerPort,
         authority: Optional[TimestampAuthority] = None,
         *,
         restart_backoff: float = 0.05,

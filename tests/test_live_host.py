@@ -1,0 +1,332 @@
+"""The wall-clock host's durability substrate, in-process.
+
+Everything here runs the real file formats -- the JSON-line WAL and the
+atomically-renamed image -- against a tmp directory, with ``fsync=False``
+so the suite is not gated on disk latency (the framing and atomicity
+logic under test is identical either way; the subprocess SIGKILL tests
+in ``test_live_smoke.py`` run with fsync on).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.live.host import LiveConfig, LiveHost
+from repro.live.store import ImageStore
+from repro.live.wal import DurableLog, decode_record, encode_record, read_wal
+from repro.params import SystemParameters
+
+
+@pytest.fixture()
+def live_params():
+    return SystemParameters.scaled_down(2048)
+
+
+@pytest.fixture()
+def wal_path(tmp_path):
+    return tmp_path / "wal.jsonl"
+
+
+def _fresh_log(params, path):
+    return DurableLog(params, path, fsync=False)
+
+
+# ---------------------------------------------------------------------------
+# WAL file format
+# ---------------------------------------------------------------------------
+
+def test_wal_line_format_round_trips_every_record_kind(live_params, wal_path):
+    log = _fresh_log(live_params, wal_path)
+    log.append_update(1, 7, 100)
+    log.append_logical_update(1, 8, 5)
+    log.append_commit(1)
+    log.append_abort(2, reason="conflict")
+    log.append_begin_checkpoint(1, timestamp=0.5, active_txns=(3, 4), image=0)
+    log.append_end_checkpoint(1, image=0)
+    log.append_media_failure(0)
+    log.append_media_restore(0, checkpoint_id=1)
+    originals = list(log._tail)
+    log.flush()
+    log.close()
+    for record in originals:
+        assert decode_record(encode_record(record).decode()) == record
+    records, torn = read_wal(wal_path)
+    assert not torn
+    assert records == originals
+
+
+def test_wal_flush_lands_records_before_waiters_fire(live_params, wal_path):
+    log = _fresh_log(live_params, wal_path)
+    log.append_update(1, 3, 42)
+    commit = log.append_commit(1)
+    on_disk_at_ack = []
+    log.when_stable(commit.lsn,
+                    lambda: on_disk_at_ack.append(read_wal(wal_path)[0]))
+    assert on_disk_at_ack == []  # not stable until the flush
+    log.flush()
+    log.close()
+    # the waiter ran, and at that instant the commit was already on disk
+    assert len(on_disk_at_ack) == 1
+    assert any(r.lsn == commit.lsn for r in on_disk_at_ack[0])
+
+
+def test_wal_torn_tail_dropped_but_prefix_trusted(live_params, wal_path):
+    log = _fresh_log(live_params, wal_path)
+    log.append_update(1, 3, 42)
+    commit = log.append_commit(1)
+    log.flush()
+    log.close()
+    with open(wal_path, "ab") as file:
+        file.write(b'["C",99')  # SIGKILL mid-write: no newline, no ack
+    records, torn = read_wal(wal_path)
+    assert torn
+    assert [r.lsn for r in records] == [commit.lsn - 1, commit.lsn]
+
+
+def test_wal_truncation_rewrites_the_file_atomically(live_params, wal_path):
+    log = _fresh_log(live_params, wal_path)
+    for txn_id in (1, 2, 3):
+        log.append_update(txn_id, txn_id, txn_id * 10)
+        log.append_commit(txn_id)
+    log.flush()
+    horizon = log.stable_lsn - 1
+    reclaimed = log.truncate_stable_before(horizon)
+    assert reclaimed > 0
+    records, torn = read_wal(wal_path)
+    assert not torn
+    assert [r.lsn for r in records] == [horizon, horizon + 1]
+    assert not wal_path.with_name(wal_path.name + ".tmp").exists()
+    # the log is still appendable through the reopened file
+    log.append_update(4, 4, 40)
+    log.append_commit(4)
+    log.flush()
+    log.close()
+    records, _ = read_wal(wal_path)
+    assert records[-1].lsn == log.stable_lsn
+
+
+def test_wal_hydrate_resumes_lsns_where_the_crash_left_them(
+        live_params, wal_path):
+    log = _fresh_log(live_params, wal_path)
+    log.append_update(1, 3, 42)
+    last = log.append_commit(1)
+    log.flush()
+    log.close()
+    records, _ = read_wal(wal_path)
+    reborn = _fresh_log(live_params, wal_path)
+    reborn.hydrate(records)
+    assert reborn.stable_lsn == last.lsn
+    fresh = reborn.append_update(2, 4, 43)
+    assert fresh.lsn == last.lsn + 1  # no LSN reuse across restart
+    with pytest.raises(ConfigurationError):
+        reborn.hydrate(records)  # only a fresh log may adopt a history
+    reborn.close()
+
+
+def test_wal_rejects_stable_log_tail(live_params, wal_path):
+    params = live_params.replace(stable_log_tail=True)
+    with pytest.raises(ConfigurationError):
+        DurableLog(params, wal_path, fsync=False)
+
+
+# ---------------------------------------------------------------------------
+# image store
+# ---------------------------------------------------------------------------
+
+def test_image_store_round_trip_and_replacement(tmp_path):
+    store = ImageStore(tmp_path, fsync=False)
+    assert store.load() is None
+    first = np.arange(16, dtype=np.int64)
+    store.install(1, 10, first)
+    second = first * 2
+    store.install(2, 25, second)
+    image = store.load()
+    assert image.checkpoint_id == 2
+    assert image.base_lsn == 25
+    np.testing.assert_array_equal(image.values, second)
+    assert store.installs == 2
+
+
+def test_image_store_ignores_a_crashed_install(tmp_path):
+    store = ImageStore(tmp_path, fsync=False)
+    store.install(1, 10, np.arange(8, dtype=np.int64))
+    # a crash before the rename leaves only the temp file behind
+    tmp = tmp_path / (ImageStore.FILENAME + ".tmp")
+    tmp.write_bytes(b"half an npz")
+    image = store.load()
+    assert image.checkpoint_id == 1  # the old image is still the truth
+    assert not tmp.exists()
+
+
+def test_image_store_hold_runs_at_both_phase_boundaries(tmp_path):
+    store = ImageStore(tmp_path, fsync=False)
+    phases = []
+
+    def hold(phase):
+        phases.append((phase, store.path.exists()))
+
+    store.install(1, 0, np.zeros(4, dtype=np.int64), hold=hold)
+    # pre-install: rename pending, so the image path does not exist yet
+    assert phases == [("pre-install", False), ("post-install", True)]
+
+
+# ---------------------------------------------------------------------------
+# the assembled host
+# ---------------------------------------------------------------------------
+
+def _host(tmp_path, **overrides):
+    config = LiveConfig(data_dir=str(tmp_path), scale=2048,
+                        checkpoint_interval=None, flush_interval=0.002,
+                        fsync=False, **overrides)
+    return LiveHost(config)
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+def test_live_host_commit_read_verify_and_restart(tmp_path):
+    host = _host(tmp_path)
+    host.start()
+    try:
+        for i in range(20):
+            result = host.submit([(i, 1000 + i)])
+            assert result.latency >= 0.0
+        multi = host.submit([(50, 1), (51, 2), (52, 3)])
+        assert multi.commit_lsn > 0
+        assert host.read(7) == 1007
+        assert host.read(51) == 2
+        assert host.verify() == []
+        assert host.scheduler.errors == []
+    finally:
+        host.stop()
+
+    reborn = _host(tmp_path)
+    recovery = reborn.start()
+    try:
+        assert recovery.checkpoint_id is None  # no checkpoint ran
+        assert recovery.transactions_replayed == 21
+        assert recovery.updates_dropped == 0
+        assert not recovery.torn_tail
+        assert reborn.read(7) == 1007
+        assert reborn.read(52) == 3
+        assert reborn.verify() == []
+        # txn ids continue past the previous incarnation's
+        assert reborn.submit([(0, 9)]).txn_id == 22
+    finally:
+        reborn.stop()
+
+
+def test_live_host_checkpoint_truncates_and_recovery_uses_the_image(tmp_path):
+    host = _host(tmp_path)
+    host.start()
+    try:
+        for i in range(10):
+            host.submit([(i, 2000 + i)])
+        host.scheduler.call(host.checkpointer.start_checkpoint)
+        assert _wait_until(lambda: host.checkpointer.history)
+        stats = host.checkpointer.history[0]
+        assert stats.checkpoint_id == 1
+        assert stats.words_written > 0
+        # post-checkpoint traffic: only this should need REDO at restart
+        host.submit([(3, 7777)])
+        assert host.verify() == []
+        assert host.scheduler.errors == []
+    finally:
+        host.stop()
+
+    image = ImageStore(tmp_path, fsync=False).load()
+    assert image is not None and image.checkpoint_id == 1
+    records, torn = read_wal(tmp_path / "wal.jsonl")
+    assert not torn
+    # truncation reclaimed everything at or below the image's horizon
+    assert all(r.lsn > image.base_lsn for r in records)
+
+    reborn = _host(tmp_path)
+    recovery = reborn.start()
+    try:
+        assert recovery.checkpoint_id == 1
+        assert recovery.base_lsn == image.base_lsn
+        assert recovery.transactions_replayed == 1
+        assert reborn.read(3) == 7777
+        assert reborn.read(9) == 2009
+        assert reborn.verify() == []
+        # checkpoint ids keep counting from the recovered image
+        reborn.scheduler.call(reborn.checkpointer.start_checkpoint)
+        assert _wait_until(lambda: reborn.checkpointer.history)
+        assert reborn.checkpointer.history[0].checkpoint_id == 2
+    finally:
+        reborn.stop()
+
+
+def test_live_host_recovery_drops_a_torn_tail(tmp_path):
+    host = _host(tmp_path)
+    host.start()
+    try:
+        for i in range(5):
+            host.submit([(i, 3000 + i)])
+    finally:
+        host.stop()
+    with open(tmp_path / "wal.jsonl", "ab") as file:
+        file.write(b'["U",999,99')  # crash mid-flush
+
+    reborn = _host(tmp_path)
+    recovery = reborn.start()
+    try:
+        assert recovery.torn_tail
+        assert recovery.transactions_replayed == 5
+        assert reborn.read(4) == 3004
+        assert reborn.verify() == []
+    finally:
+        reborn.stop()
+
+
+def test_live_host_uncommitted_updates_are_dropped_at_recovery(tmp_path):
+    host = _host(tmp_path)
+    host.start()
+    try:
+        host.submit([(1, 11)])
+    finally:
+        host.stop()
+    # an update whose commit never made it to the file: REDO must drop it
+    log = DurableLog(SystemParameters.scaled_down(2048),
+                     tmp_path / "wal.jsonl", fsync=False)
+    records, _ = read_wal(tmp_path / "wal.jsonl")
+    log.hydrate(records)
+    log.append_update(99, 1, 666666)
+    log.flush()
+    log.close()
+
+    reborn = _host(tmp_path)
+    recovery = reborn.start()
+    try:
+        assert recovery.updates_dropped == 1
+        assert reborn.read(1) == 11  # the loser's value never surfaced
+        assert reborn.verify() == []
+    finally:
+        reborn.stop()
+
+
+def test_live_host_emits_txn_and_ckpt_spans(tmp_path):
+    host = _host(tmp_path, spans=True)
+    host.start()
+    try:
+        host.submit([(1, 5)])
+        host.scheduler.call(host.checkpointer.start_checkpoint)
+        assert _wait_until(lambda: host.checkpointer.history)
+        spans = host.spans_snapshot()
+    finally:
+        host.stop()
+    names = {span["name"] for span in spans}
+    assert {"txn", "txn.lock_wait", "txn.cpu",
+            "ckpt", "ckpt.snapshot", "ckpt.install",
+            "ckpt.truncate"} <= names
+    roots = [s for s in spans if s["name"] == "txn"]
+    assert roots and all(s["fields"]["outcome"] == "commit" for s in roots)
