@@ -73,6 +73,18 @@ class WALViolation(ReproError):
     """
 
 
+class WALCorruptionError(ReproError):
+    """A durable WAL file contains an undecodable *interior* line.
+
+    A crash mid-flush can only tear the final, unterminated line of the
+    file -- every earlier line was newline-framed by a completed write.
+    An interior line that fails to decode therefore means the file was
+    damaged some other way (bit rot, manual editing, a foreign writer),
+    and silently dropping the suffix would discard acknowledged commits;
+    recovery must fail loudly instead.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpointer reached an inconsistent internal state."""
 

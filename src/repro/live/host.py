@@ -310,6 +310,9 @@ class LiveHost:
         verification independent of this method's bookkeeping.
         """
         records, torn = read_wal(self.wal_path)
+        # DurableLog truncated any torn tail when it opened the file,
+        # so read_wal sees a clean prefix; the repair is still a tear.
+        torn = torn or self.log.repaired_bytes > 0
         image = self.store.load()
         checkpoint_id: Optional[int] = None
         base_lsn = 0

@@ -90,8 +90,11 @@ class LiveScheduler:
             cancelled.add(handle)
             if (len(cancelled) >= COMPACT_MIN_BACKLOG
                     and len(cancelled) * 2 >= len(self._heap)):
-                self._heap = [entry for entry in self._heap
-                              if entry[1] not in cancelled]
+                # In place: _run() holds an alias to this list for the
+                # life of the dispatcher thread, so rebinding self._heap
+                # would strand the dispatcher on a stale heap.
+                self._heap[:] = [entry for entry in self._heap
+                                 if entry[1] not in cancelled]
                 heapify(self._heap)
                 cancelled.clear()
 

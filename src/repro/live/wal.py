@@ -16,7 +16,16 @@ Newline-framed JSON keeps the file greppable and makes torn-write
 handling trivial: after SIGKILL the final line may be incomplete, and
 :func:`read_wal` drops exactly that suffix -- which is correct, because
 records that never finished reaching the file were never fsynced, so no
-acknowledgement depended on them.
+acknowledgement depended on them.  Only that final, unterminated line
+may fail to decode; an interior line that does is real corruption and
+raises :class:`~repro.errors.WALCorruptionError` rather than silently
+discarding acknowledged records.
+
+Opening a :class:`DurableLog` over an existing file *repairs* a torn
+tail first: the file is truncated to the durable prefix before it is
+reopened for append, so new records can never be written onto the back
+of a partial line (which would fuse them into one undecodable line and
+lose every later record at the next restart).
 
 Truncation (checkpoint log reclamation) rewrites the file through the
 same temp-file + fsync + :func:`os.replace` discipline the image store
@@ -31,7 +40,7 @@ import os
 from pathlib import Path
 from typing import List, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, WALCorruptionError
 from ..params import SystemParameters
 from ..wal.log import FlushResult, LogManager
 from ..wal.lsn import LSNAllocator
@@ -47,7 +56,8 @@ from ..wal.records import (
     UpdateRecord,
 )
 
-__all__ = ["DurableLog", "encode_record", "decode_record", "read_wal"]
+__all__ = ["DurableLog", "encode_record", "decode_record", "read_wal",
+           "scan_wal"]
 
 #: type tag -> record class, and the reverse, for the line format
 _TAG_TO_CLASS = {
@@ -84,31 +94,58 @@ def decode_record(line: str) -> LogRecord:
     return cls(*fields)
 
 
+def scan_wal(data: bytes) -> Tuple[List[LogRecord], int]:
+    """Parse ``data`` as WAL lines; return ``(records, durable_bytes)``.
+
+    ``durable_bytes`` is the length of the trusted prefix: the whole
+    buffer normally, or everything up to a torn final line.  Every flush
+    writes newline-terminated lines, so a crash can only leave a partial
+    line at the very end with no terminator; a *terminated* line that
+    fails to decode (or a partial line that is not last -- impossible
+    without the terminated case) is corruption, not tearing, and raises
+    :class:`WALCorruptionError`.
+    """
+    records: List[LogRecord] = []
+    durable = 0
+    offset = 0
+    size = len(data)
+    while offset < size:
+        newline = data.find(b"\n", offset)
+        terminated = newline >= 0
+        end = newline + 1 if terminated else size
+        line = data[offset:newline] if terminated else data[offset:]
+        if line:
+            try:
+                records.append(decode_record(line.decode("ascii")))
+            except (ValueError, KeyError, IndexError, TypeError,
+                    UnicodeDecodeError) as exc:
+                if terminated:
+                    raise WALCorruptionError(
+                        f"undecodable WAL line at byte {offset}: "
+                        f"{line[:80]!r}") from exc
+                # The torn tail: a partial final line whose flush never
+                # completed, so nothing in it was ever acknowledged.
+                break
+        durable = end
+        offset = end
+    return records, durable
+
+
 def read_wal(path: os.PathLike) -> Tuple[List[LogRecord], bool]:
     """Load every durable record from ``path``.
 
     Returns ``(records, torn)`` where ``torn`` reports whether a
     trailing partial line was discarded (the signature of a crash midway
     through a group flush; everything before it is intact and trusted).
-    A missing file is an empty log.
+    A missing file is an empty log.  An undecodable *interior* line
+    raises :class:`WALCorruptionError` (see :func:`scan_wal`).
     """
     path = Path(path)
     if not path.exists():
         return [], False
     data = path.read_bytes()
-    records: List[LogRecord] = []
-    torn = False
-    for raw in data.split(b"\n"):
-        if not raw:
-            continue
-        try:
-            records.append(decode_record(raw.decode("ascii")))
-        except (ValueError, KeyError, IndexError, TypeError):
-            # A torn tail: nothing after an unparsable line was fsynced
-            # as part of a completed flush, so drop the suffix.
-            torn = True
-            break
-    return records, torn
+    records, durable = scan_wal(data)
+    return records, durable < len(data)
 
 
 class DurableLog(LogManager):
@@ -128,7 +165,31 @@ class DurableLog(LogManager):
         #: framing independent of disk latency)
         self.fsync_enabled = fsync
         self.fsync_count = 0
+        #: bytes of torn tail cut off an existing file before reopening
+        self.repaired_bytes = self._repair_torn_tail()
         self._file = open(self.path, "ab")
+
+    def _repair_torn_tail(self) -> int:
+        """Truncate a torn final line off an existing file.
+
+        Must happen before the file is reopened for append: writing new
+        records after a partial line would fuse them into one
+        undecodable line, and the *next* restart would then lose every
+        record from the tear onward -- acknowledged-data loss.  Returns
+        the number of bytes discarded (0 when the file is clean or
+        absent).  Truncation to the durable prefix is idempotent, so a
+        crash racing this repair just means it runs again next start.
+        """
+        if not self.path.exists():
+            return 0
+        data = self.path.read_bytes()
+        _, durable = scan_wal(data)  # raises WALCorruptionError if rotten
+        torn_bytes = len(data) - durable
+        if torn_bytes:
+            with open(self.path, "r+b") as file:
+                file.truncate(durable)
+                self._sync_file(file)
+        return torn_bytes
 
     # -- durability ----------------------------------------------------------
     def _sync_file(self, file) -> None:

@@ -114,11 +114,17 @@ class EventEngine:
             self.compact()
 
     def compact(self) -> None:
-        """Drop every cancelled entry from the heap in one pass."""
+        """Drop every cancelled entry from the heap in one pass.
+
+        In place: :meth:`run` and :meth:`step` hold a local alias to the
+        heap while dispatching, and a callback may cancel its way into a
+        compaction -- rebinding ``self._heap`` would leave the running
+        loop draining a stale list.
+        """
         cancelled = self._cancelled
         if cancelled:
-            self._heap = [entry for entry in self._heap
-                          if entry[1] not in cancelled]
+            self._heap[:] = [entry for entry in self._heap
+                             if entry[1] not in cancelled]
             heapify(self._heap)
             cancelled.clear()
         self.compactions += 1

@@ -12,7 +12,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WALCorruptionError
 from repro.live.host import LiveConfig, LiveHost
 from repro.live.store import ImageStore
 from repro.live.wal import DurableLog, decode_record, encode_record, read_wal
@@ -83,6 +83,53 @@ def test_wal_torn_tail_dropped_but_prefix_trusted(live_params, wal_path):
     records, torn = read_wal(wal_path)
     assert torn
     assert [r.lsn for r in records] == [commit.lsn - 1, commit.lsn]
+
+
+def test_wal_reopen_truncates_a_torn_tail_before_appending(
+        live_params, wal_path):
+    log = _fresh_log(live_params, wal_path)
+    log.append_update(1, 3, 42)
+    first = log.append_commit(1)
+    log.flush()
+    log.close()
+    garbage = b'["C",99'  # SIGKILL mid-write: no newline
+    with open(wal_path, "ab") as file:
+        file.write(garbage)
+    # Reopening repairs the file *before* append mode, so the next
+    # flush cannot fuse new records onto the partial line.
+    reborn = _fresh_log(live_params, wal_path)
+    assert reborn.repaired_bytes == len(garbage)
+    records, torn = read_wal(wal_path)
+    assert not torn  # the tear is gone from disk
+    reborn.hydrate(records)
+    reborn.append_update(2, 4, 43)
+    second = reborn.append_commit(2)
+    reborn.flush()
+    reborn.close()
+    # crash -> restart -> commit -> crash: the second restart must see
+    # every acknowledged record, old and new
+    records, torn = read_wal(wal_path)
+    assert not torn
+    assert [r.lsn for r in records] == [
+        first.lsn - 1, first.lsn, second.lsn - 1, second.lsn]
+    clean = _fresh_log(live_params, wal_path)
+    assert clean.repaired_bytes == 0
+    clean.close()
+
+
+def test_wal_interior_corruption_fails_loudly(live_params, wal_path):
+    log = _fresh_log(live_params, wal_path)
+    log.append_update(1, 3, 42)
+    log.append_commit(1)
+    log.flush()
+    log.close()
+    # a *terminated* garbage line ahead of durable records cannot be a
+    # torn tail; dropping the suffix would lose acknowledged commits
+    wal_path.write_bytes(b'["C",99,bogus\n' + wal_path.read_bytes())
+    with pytest.raises(WALCorruptionError):
+        read_wal(wal_path)
+    with pytest.raises(WALCorruptionError):
+        _fresh_log(live_params, wal_path)  # refuse to append after rot
 
 
 def test_wal_truncation_rewrites_the_file_atomically(live_params, wal_path):
@@ -286,6 +333,41 @@ def test_live_host_recovery_drops_a_torn_tail(tmp_path):
         assert reborn.verify() == []
     finally:
         reborn.stop()
+
+
+def test_live_host_commits_after_a_torn_tail_survive_a_second_crash(tmp_path):
+    host = _host(tmp_path)
+    host.start()
+    try:
+        for i in range(5):
+            host.submit([(i, 3000 + i)])
+    finally:
+        host.stop()
+    with open(tmp_path / "wal.jsonl", "ab") as file:
+        file.write(b'["U",999,99')  # first crash: torn flush
+
+    second = _host(tmp_path)
+    recovery = second.start()
+    try:
+        assert recovery.torn_tail
+        second.submit([(7, 7007)])  # acknowledged after the repair
+    finally:
+        second.stop()
+    # the repaired file parses end to end: the new commit was appended
+    # after the truncated prefix, not fused into the garbage line
+    records, torn = read_wal(tmp_path / "wal.jsonl")
+    assert not torn
+
+    third = _host(tmp_path)
+    recovery = third.start()
+    try:
+        assert not recovery.torn_tail
+        assert recovery.transactions_replayed == 6
+        assert third.read(7) == 7007  # the post-tear commit survived
+        assert third.read(4) == 3004
+        assert third.verify() == []
+    finally:
+        third.stop()
 
 
 def test_live_host_uncommitted_updates_are_dropped_at_recovery(tmp_path):

@@ -92,6 +92,28 @@ def test_live_scheduler_cancel_is_lazy_and_idempotent(live_scheduler):
     assert ran == []
 
 
+def test_live_scheduler_compaction_does_not_strand_the_dispatcher(
+        live_scheduler):
+    # Mass cancellation triggers a heap compaction; it must happen in
+    # place, because the dispatcher thread captured its heap reference
+    # at start().  A rebinding compaction would leave the dispatcher
+    # draining a stale list -- cancelled entries re-dispatched, every
+    # later submit (flush ticks, commit acks) invisible forever.
+    from repro.sim.engine import COMPACT_MIN_BACKLOG
+    doomed = []
+    handles = [live_scheduler.schedule_after(60.0, lambda: doomed.append(1))
+               for _ in range(2 * COMPACT_MIN_BACKLOG)]
+    for handle in handles:
+        live_scheduler.cancel(handle)
+    with live_scheduler._lock:
+        assert len(live_scheduler._heap) < len(handles)  # compaction ran
+    after = []
+    live_scheduler.submit(lambda: after.append(1))
+    assert _wait_until(lambda: after)
+    assert doomed == []
+    assert live_scheduler.errors == []
+
+
 def test_live_scheduler_past_time_is_clamped_not_an_error(live_scheduler):
     ran = []
     live_scheduler.schedule_at(-100.0, lambda: ran.append(1))

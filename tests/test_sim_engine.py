@@ -180,6 +180,27 @@ class TestEventEngine:
         engine.compact()
         assert engine.compactions == 1
 
+    def test_compaction_inside_a_callback_does_not_strand_run(self):
+        # run() holds a local alias to the heap, so a compaction fired
+        # from inside a dispatched callback must rewrite it in place --
+        # events scheduled afterwards have to reach the running loop.
+        from repro.sim.engine import COMPACT_MIN_BACKLOG
+        engine = EventEngine()
+        fired = []
+        handles = [engine.schedule_at(50.0, lambda: fired.append("dead"))
+                   for _ in range(2 * COMPACT_MIN_BACKLOG)]
+
+        def cancel_everything():
+            for handle in handles:
+                engine.cancel(handle)
+            assert engine.compactions >= 1
+            engine.schedule_at(2.0, lambda: fired.append("after"))
+
+        engine.schedule_at(1.0, cancel_everything)
+        engine.run()
+        assert fired == ["after"]
+        assert engine.now == 2.0  # not 50.0: no cancelled event fired
+
     def test_clear_drops_cancelled_set(self):
         engine = EventEngine()
         handle = engine.schedule_at(1.0, lambda: None)
